@@ -1,0 +1,72 @@
+/// E9 — ablation of the paper's first contribution: the sensitivity-guided
+/// search criteria (§IV-B) and the asymmetric Eq.-2 BLX step.  Four MLS
+/// variants at identical budgets on each density:
+///   * AEDB-MLS           — paper configuration (3 guided criteria, Eq. 2);
+///   * AEDB-MLS-unguided  — one all-variables criterion (no guidance);
+///   * AEDB-MLS-pervar    — per-variable criteria (guidance w/o grouping);
+///   * AEDB-MLS-sym       — guided criteria but zero-bias symmetric step.
+/// Scored by normalised hypervolume and IGD against the union reference.
+
+#include <cstdio>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "experiment/runners.hpp"
+#include "experiment/scale.hpp"
+#include "moo/core/front_io.hpp"
+#include "moo/core/normalization.hpp"
+#include "moo/indicators/hypervolume.hpp"
+#include "moo/indicators/igd.hpp"
+
+int main(int argc, char** argv) {
+  using namespace aedbmls;
+  const CliArgs args(argc, argv);
+  const expt::Scale scale = expt::resolve_scale(args);
+  expt::print_header("bench_ablation_operators",
+                     "ablation: sensitivity-guided criteria & Eq.-2 step",
+                     scale);
+
+  const std::vector<std::string> variants{"AEDB-MLS", "AEDB-MLS-unguided",
+                                          "AEDB-MLS-pervar", "AEDB-MLS-sym"};
+
+  for (const int density : scale.densities) {
+    std::printf("--- %d devices/km^2 ---\n", density);
+    std::vector<std::vector<expt::RunRecord>> per_variant;
+    std::vector<std::vector<moo::Solution>> all_fronts;
+    for (const auto& variant : variants) {
+      std::printf("[run] %-18s %zu runs...\n", variant.c_str(), scale.runs);
+      std::fflush(stdout);
+      per_variant.push_back(
+          expt::run_repeats(variant, density, scale, nullptr));
+      for (const auto& record : per_variant.back()) {
+        all_fronts.push_back(record.front);
+      }
+    }
+    const auto reference = moo::merge_fronts(all_fronts);
+    const moo::ObjectiveBounds bounds = moo::bounds_of(reference);
+    const auto reference_norm = moo::normalize_front(reference, bounds);
+
+    TextTable table;
+    table.set_header({"variant", "hv mean", "hv sd", "igd mean", "igd sd"});
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+      RunningStats hv;
+      RunningStats igd;
+      for (const auto& record : per_variant[v]) {
+        if (record.front.empty()) continue;
+        const auto front = moo::normalize_front(record.front, bounds);
+        hv.add(moo::hypervolume(front, moo::unit_reference(3)));
+        igd.add(moo::paper_igd(front, reference_norm));
+      }
+      table.add_row({variants[v], format_double(hv.mean(), 4),
+                     format_double(hv.stddev(), 4), format_double(igd.mean(), 4),
+                     format_double(igd.stddev(), 4)});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+  }
+
+  std::printf("expectation: guided criteria concentrate the budget on the\n"
+              "variables that matter (border/neighbors/delays) and skip the\n"
+              "inert margin, so the paper variant should match or beat the\n"
+              "unguided one, most visibly at the denser instances.\n");
+  return 0;
+}

@@ -1,0 +1,173 @@
+/// E1/E2 — regenerates **Figure 2** (FAST99 main effect + interaction per
+/// parameter, per objective, 300 devices/km²) and **Table I** (sensitivity
+/// summary across all densities: direction △/▽ and interaction strength).
+///
+/// Output: per-objective bar tables (ASCII rendition of Fig. 2's bar plots),
+/// the Table I reproduction next to the paper's published entries, and CSV
+/// mirrors under results/.
+
+#include <cstdio>
+#include <string>
+
+#include "aedb/tuning_problem.hpp"
+#include "common/table.hpp"
+#include "experiment/runners.hpp"
+#include "experiment/scale.hpp"
+#include "moo/sa/fast99.hpp"
+
+namespace {
+
+using namespace aedbmls;
+
+std::string bar(double value, double unit = 0.05) {
+  const int blocks = static_cast<int>(value / unit + 0.5);
+  return std::string(static_cast<std::size_t>(std::max(blocks, 0)), '#');
+}
+
+const char* direction_symbol(double direction) {
+  if (direction > 0.1) return "up";    // the paper's black triangle
+  if (direction < -0.1) return "down"; // white triangle
+  return "~";
+}
+
+const char* interaction_word(double interaction) {
+  if (interaction > 0.25) return "yes";
+  if (interaction > 0.08) return "few";
+  return "no";
+}
+
+struct ObjectiveView {
+  const char* name;
+  std::size_t index;  // into the 4-output model
+};
+
+constexpr ObjectiveView kObjectives[] = {
+    {"broadcast_time", 0},
+    {"coverage", 1},
+    {"forwardings", 2},
+    {"energy", 3},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const expt::Scale scale = expt::resolve_scale(args);
+  expt::print_header("bench_fig2_sensitivity",
+                     "Figure 2 (FAST99 indices) and Table I (summary)", scale);
+
+  moo::Fast99Config config;
+  config.samples_per_curve = scale.sa_samples;
+  config.seed = scale.seed;
+  const moo::Fast99 fast(config);
+
+  // §III-B explores wider domains than the tuning problem.
+  const auto& domain_array = aedb::AedbParams::sa_domain();
+  const std::vector<std::pair<double, double>> domain(domain_array.begin(),
+                                                      domain_array.end());
+  par::ThreadPool pool;
+
+  // Table I accumulators: per parameter x objective across densities.
+  struct Cell {
+    double direction = 0.0;
+    double interaction = 0.0;
+    double main_effect = 0.0;
+  };
+  std::vector<std::vector<Cell>> summary(
+      aedb::AedbParams::kDimensions, std::vector<Cell>(4));
+
+  TextTable csv;
+  csv.set_header({"density", "objective", "parameter", "main_effect",
+                  "interaction", "direction"});
+
+  for (const int density : scale.densities) {
+    aedb::AedbTuningProblem::Config pc = expt::problem_config(density, scale);
+    const aedb::AedbTuningProblem problem(pc);
+    const moo::Fast99::Model model = [&problem](const std::vector<double>& x) {
+      const auto d = problem.evaluate_detail(aedb::AedbParams::from_vector(x));
+      return std::vector<double>{d.mean_broadcast_time_s, d.mean_coverage,
+                                 d.mean_forwardings, d.mean_energy_dbm};
+    };
+    std::printf("[run] FAST99 on %s: %zu sims...\n", problem.name().c_str(),
+                scale.sa_samples * domain.size());
+    std::fflush(stdout);
+    const moo::Fast99Result result = fast.analyze(domain, model, 4, &pool);
+
+    // Figure 2 proper is the 300-devices panel; print every density, flag it.
+    std::printf("\n--- density %d devices/km^2%s ---\n", density,
+                density == 300 ? "  (= paper Figure 2)" : "");
+    for (const ObjectiveView& objective : kObjectives) {
+      const moo::Fast99Indices& idx = result.outputs[objective.index];
+      TextTable table;
+      table.set_header({"parameter", "main", "", "inter", "", "dir"});
+      for (std::size_t f = 0; f < domain.size(); ++f) {
+        table.add_row({aedb::AedbParams::names()[f],
+                       format_double(idx.first_order[f], 3),
+                       bar(idx.first_order[f]),
+                       format_double(idx.interaction[f], 3),
+                       bar(idx.interaction[f]),
+                       direction_symbol(idx.direction[f])});
+        summary[f][objective.index].direction += idx.direction[f];
+        summary[f][objective.index].interaction += idx.interaction[f];
+        summary[f][objective.index].main_effect += idx.first_order[f];
+        csv.add_row({std::to_string(density), objective.name,
+                     aedb::AedbParams::names()[f],
+                     format_double(idx.first_order[f], 5),
+                     format_double(idx.interaction[f], 5),
+                     format_double(idx.direction[f], 5)});
+      }
+      std::printf("influence on %s:\n%s\n", objective.name,
+                  table.to_string().c_str());
+    }
+  }
+
+  // ---- Table I reproduction ----
+  const double n = static_cast<double>(scale.densities.size());
+  std::printf("=== Table I reproduction (averaged over densities) ===\n");
+  std::printf("cell = direction-to-improve / interaction  — paper values in []\n");
+  std::printf("objective columns: maximise coverage, minimise forwardings,\n");
+  std::printf("minimise energy, constrain broadcast time\n\n");
+
+  // The paper's published Table I entries (direction, interaction).
+  const char* paper_table[aedb::AedbParams::kDimensions][4] = {
+      // coverage      forwardings   energy        broadcast time
+      {"down/few", "up/few", "down/few", "both/yes"},     // min+max delay row ("delay")
+      {"down/few", "up/few", "down/few", "both/yes"},     // shown per delay var
+      {"up/yes", "up/yes", "up/yes", "~/few"},            // border
+      {"up/very-few", "up/no", "up/no", "~/no"},          // margin
+      {"up/yes", "up/yes", "up/yes", "down/few"},         // neighbors
+  };
+
+  TextTable table1;
+  table1.set_header({"parameter", "coverage", "forwardings", "energy_used",
+                     "broadcast_time"});
+  for (std::size_t f = 0; f < aedb::AedbParams::kDimensions; ++f) {
+    std::vector<std::string> row{aedb::AedbParams::names()[f]};
+    // Objective order in the model outputs: bt(0), cov(1), fwd(2), energy(3);
+    // Table I columns: coverage, forwardings, energy, bt.
+    const std::size_t order[4] = {1, 2, 3, 0};
+    for (std::size_t col = 0; col < 4; ++col) {
+      const Cell& cell = summary[f][order[col]];
+      // "Direction to improve": coverage is maximised (follow the sign);
+      // forwardings/energy are minimised (invert the sign); broadcast time
+      // is a constraint (report raw trend).
+      double direction = cell.direction / n;
+      if (col == 1 || col == 2) direction = -direction;
+      std::string text = std::string(direction_symbol(direction)) + "/" +
+                         interaction_word(cell.interaction / n);
+      text += "  [" + std::string(paper_table[f][col]) + "]";
+      row.push_back(text);
+    }
+    table1.add_row(std::move(row));
+  }
+  std::printf("%s\n", table1.to_string().c_str());
+  std::printf("interpretation: 'up' = increase the parameter to improve that\n"
+              "objective; interaction 'yes/few/no' from total-minus-first-order\n"
+              "FAST99 indices.  Expected agreements: border & neighbors drive\n"
+              "everything; margin is inert; delays own the bt constraint.\n");
+
+  write_text_file("results/fig2_sensitivity_" + scale.name + ".csv",
+                  csv.to_csv());
+  std::printf("\n[out] results/fig2_sensitivity_%s.csv\n", scale.name.c_str());
+  return 0;
+}

@@ -1,0 +1,108 @@
+/// E4 — regenerates **Figure 6**: the Pareto front approximations of
+/// AEDB-MLS versus the Reference front (best of NSGA-II + CellDE) for the
+/// three densities, plus §VI's mutual-dominance counts ("AEDB-MLS dominates
+/// 13 / is dominated by 54" etc.).
+///
+/// Output: per-density front listings (energy dBm-sum, coverage,
+/// forwardings — the figure's three axes), dominance counts with the
+/// paper's values alongside, CSVs under results/ for plotting.
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "experiment/runners.hpp"
+#include "experiment/scale.hpp"
+#include "moo/core/aga_archive.hpp"
+#include "moo/core/front_io.hpp"
+
+namespace {
+
+using namespace aedbmls;
+
+/// The paper builds each displayed front with AGA (capacity 100) over the
+/// best solutions of 30 runs.
+std::vector<moo::Solution> aga_merge(const std::vector<expt::RunRecord>& records,
+                                     const std::string& algorithm, int density) {
+  moo::AgaArchive archive(100);
+  for (const expt::RunRecord& record : records) {
+    if (record.density != density) continue;
+    const bool mls = record.algorithm == "AEDB-MLS";
+    const bool wanted = (algorithm == "AEDB-MLS") == mls;
+    if (!wanted) continue;
+    for (const moo::Solution& s : record.front) archive.try_insert(s);
+  }
+  return archive.contents();
+}
+
+void print_front(const char* label, const std::vector<moo::Solution>& front) {
+  TextTable table;
+  table.set_header({"energy_dBm_sum", "coverage", "forwardings"});
+  for (const moo::Solution& s : front) {
+    table.add_row({format_double(s.objectives[0], 2),
+                   format_double(-s.objectives[1], 2),
+                   format_double(s.objectives[2], 2)});
+  }
+  std::printf("%s (%zu points):\n%s\n", label, front.size(),
+              table.to_string().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const expt::Scale scale = expt::resolve_scale(args);
+  expt::print_header("bench_fig6_fronts",
+                     "Figure 6 (Pareto fronts) + §VI dominance counts", scale);
+
+  // Paper dominance counts for context: {density, MLS dominates, dominated}.
+  struct PaperCounts {
+    int density;
+    int dominates;
+    int dominated;
+  };
+  const PaperCounts paper[] = {{100, 13, 54}, {200, 11, 40}, {300, 15, 17}};
+
+  std::vector<expt::RunRecord> records;
+  (void)expt::collect_indicator_samples(expt::paper_algorithms(), scale,
+                                        /*use_cache=*/false, &records);
+
+  for (const int density : scale.densities) {
+    std::printf("=============== %d devices/km^2 ===============\n", density);
+    const auto mls_front = aga_merge(records, "AEDB-MLS", density);
+    const auto reference = aga_merge(records, "Reference", density);
+
+    print_front("AEDB-MLS front", mls_front);
+    print_front("Reference front (NSGA-II + CellDE)", reference);
+
+    const std::size_t mls_dominates =
+        expt::dominance_count(mls_front, reference);
+    const std::size_t mls_dominated =
+        expt::dominance_count(reference, mls_front);
+    std::printf("dominance: AEDB-MLS dominates %zu reference points, is "
+                "dominated by %zu of its own\n",
+                mls_dominates, mls_dominated);
+    for (const PaperCounts& p : paper) {
+      if (p.density == density) {
+        std::printf("paper (30 runs, full budgets): dominates %d, dominated "
+                    "by %d\n",
+                    p.dominates, p.dominated);
+      }
+    }
+
+    write_text_file("results/fig6_front_mls_" + std::to_string(density) + "_" +
+                        scale.name + ".csv",
+                    moo::front_to_csv(mls_front));
+    write_text_file("results/fig6_front_reference_" + std::to_string(density) +
+                        "_" + scale.name + ".csv",
+                    moo::front_to_csv(reference));
+    std::printf("[out] results/fig6_front_{mls,reference}_%d_%s.csv\n\n",
+                density, scale.name.c_str());
+  }
+
+  std::printf("shape check vs the paper: both fronts should show the two-\n"
+              "regime structure (a low-energy cluster with modest coverage,\n"
+              "then coverage growing faster than forwardings at higher\n"
+              "energy), with the MLS front close to, but slightly behind,\n"
+              "the reference in accuracy while matching it in spread.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+/// E11a — google-benchmark micro-benchmarks of the simulation substrate:
+/// event scheduling throughput, mobility queries, propagation math, beacon
+/// warm-up and full AEDB scenarios per density.  These bound the cost of
+/// one fitness evaluation, which everything in §V's budget math scales
+/// with.
+
+#include <benchmark/benchmark.h>
+
+#include "aedb/scenario.hpp"
+#include "sim/core/simulator.hpp"
+#include "sim/mobility/random_walk.hpp"
+#include "sim/propagation/log_distance.hpp"
+
+namespace {
+
+using namespace aedbmls;
+
+void BM_SchedulerInsertPop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Scheduler scheduler;
+    std::uint64_t lcg = 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+      scheduler.insert(sim::nanoseconds(static_cast<std::int64_t>(lcg >> 32)),
+                       [] {});
+    }
+    while (!scheduler.empty()) benchmark::DoNotOptimize(scheduler.pop());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SchedulerInsertPop)->Arg(1000)->Arg(10000);
+
+void BM_SimulatorEventChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    int remaining = 10000;
+    std::function<void()> tick = [&] {
+      if (--remaining > 0) simulator.schedule(sim::microseconds(1), tick);
+    };
+    simulator.schedule(sim::microseconds(1), tick);
+    simulator.run();
+    benchmark::DoNotOptimize(simulator.executed_events());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_SimulatorEventChurn);
+
+void BM_RandomWalkQuery(benchmark::State& state) {
+  sim::RandomWalkMobility::Config config;
+  const sim::RandomWalkMobility walk(config, {250.0, 250.0}, CounterRng(1));
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    t += 13000;  // 13 us steps, forces occasional epoch advance
+    benchmark::DoNotOptimize(walk.position(sim::nanoseconds(t)));
+  }
+}
+BENCHMARK(BM_RandomWalkQuery);
+
+void BM_LogDistanceRx(benchmark::State& state) {
+  const sim::LogDistancePropagation model;
+  double d = 1.0;
+  for (auto _ : state) {
+    d = d < 400.0 ? d + 0.1 : 1.0;
+    benchmark::DoNotOptimize(model.rx_power_dbm(16.02, {0.0, 0.0}, {d, d}));
+  }
+}
+BENCHMARK(BM_LogDistanceRx);
+
+void BM_FullScenario(benchmark::State& state) {
+  const int density = static_cast<int>(state.range(0));
+  const aedb::ScenarioConfig config = aedb::make_paper_scenario(density, 1, 0);
+  aedb::AedbParams params;
+  params.min_delay_s = 0.1;
+  params.max_delay_s = 0.8;
+  params.border_threshold_dbm = -88.0;
+  params.neighbors_threshold = 15.0;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const auto result = aedb::run_scenario(config, params);
+    events += result.events_executed;
+    benchmark::DoNotOptimize(result.stats.coverage);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.SetLabel("events/s");
+}
+BENCHMARK(BM_FullScenario)->Arg(100)->Arg(200)->Arg(300)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TenNetworkEvaluation(benchmark::State& state) {
+  // One full paper-style fitness evaluation (10 networks, 100 dev/km^2).
+  aedb::ScenarioConfig config = aedb::make_paper_scenario(100, 1, 0);
+  aedb::AedbParams params;
+  params.max_delay_s = 0.8;
+  params.border_threshold_dbm = -88.0;
+  for (auto _ : state) {
+    double coverage = 0.0;
+    for (std::uint64_t network = 0; network < 10; ++network) {
+      config.network.network_index = network;
+      coverage +=
+          static_cast<double>(aedb::run_scenario(config, params).stats.coverage);
+    }
+    benchmark::DoNotOptimize(coverage);
+  }
+}
+BENCHMARK(BM_TenNetworkEvaluation)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,282 @@
+#include "experiment/runners.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "core/hybrid.hpp"
+#include "core/mls.hpp"
+#include "moo/algorithms/cellde.hpp"
+#include "moo/algorithms/nsga2.hpp"
+#include "moo/algorithms/random_search.hpp"
+#include "moo/core/dominance.hpp"
+#include "moo/core/front_io.hpp"
+#include "moo/core/normalization.hpp"
+#include "moo/indicators/hypervolume.hpp"
+#include "moo/indicators/igd.hpp"
+#include "moo/indicators/spread.hpp"
+
+namespace aedbmls::expt {
+namespace {
+
+core::MlsConfig mls_config_for(const Scale& scale) {
+  core::MlsConfig config;
+  config.populations = scale.mls_populations;
+  config.threads_per_population = scale.mls_threads;
+  config.evaluations_per_thread = scale.mls_evals_per_thread();
+  config.reset_period = 50;  // the paper's tuned value (§V)
+  config.alpha = 0.2;        // the paper's tuned value (§V)
+  config.archive_capacity = 100;
+  config.criteria = core::aedb_criteria();
+  return config;
+}
+
+std::string cache_path(const std::vector<std::string>& algorithms,
+                       const Scale& scale) {
+  std::uint64_t key = hash_combine(scale.seed, scale.runs);
+  key = hash_combine(key, scale.evals);
+  key = hash_combine(key, scale.networks);
+  for (const auto& name : algorithms) {
+    for (const char c : name) key = hash_combine(key, static_cast<std::uint64_t>(c));
+  }
+  for (const int d : scale.densities) {
+    key = hash_combine(key, static_cast<std::uint64_t>(d));
+  }
+  std::ostringstream os;
+  os << "results/indicators_" << scale.name << "_" << std::hex << key << ".csv";
+  return os.str();
+}
+
+std::optional<std::vector<IndicatorSample>> load_cache(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::vector<IndicatorSample> samples;
+  std::string line;
+  std::getline(in, line);  // header
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    IndicatorSample s;
+    std::string cell;
+    std::getline(row, s.algorithm, ',');
+    std::getline(row, cell, ',');
+    s.density = std::stoi(cell);
+    std::getline(row, cell, ',');
+    s.run_seed = std::stoull(cell);
+    std::getline(row, cell, ',');
+    s.hypervolume = std::stod(cell);
+    std::getline(row, cell, ',');
+    s.igd = std::stod(cell);
+    std::getline(row, cell, ',');
+    s.spread = std::stod(cell);
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+void store_cache(const std::string& path,
+                 const std::vector<IndicatorSample>& samples) {
+  std::error_code ec;
+  std::filesystem::create_directories("results", ec);
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return;
+  out << "algorithm,density,run_seed,hypervolume,igd,spread\n";
+  out.precision(17);
+  for (const IndicatorSample& s : samples) {
+    out << s.algorithm << ',' << s.density << ',' << s.run_seed << ','
+        << s.hypervolume << ',' << s.igd << ',' << s.spread << '\n';
+  }
+}
+
+}  // namespace
+
+aedb::AedbTuningProblem::Config problem_config(int density, const Scale& scale) {
+  aedb::AedbTuningProblem::Config config;
+  config.devices_per_km2 = density;
+  config.network_count = scale.networks;
+  config.seed = scale.seed;
+  return config;
+}
+
+std::unique_ptr<moo::Algorithm> make_algorithm(const std::string& name,
+                                               const Scale& scale,
+                                               par::ThreadPool* evaluator) {
+  if (name == "NSGAII") {
+    moo::Nsga2::Config config;
+    // Ruiz et al. 2012 used population 100; shrink with the budget so a
+    // smoke run still evolves for several generations.
+    config.population_size = std::max<std::size_t>(20, scale.evals / 50);
+    config.max_evaluations = scale.evals;
+    config.evaluator = evaluator;
+    return std::make_unique<moo::Nsga2>(config);
+  }
+  if (name == "CellDE") {
+    moo::CellDe::Config config;
+    const auto side = static_cast<std::size_t>(std::sqrt(
+        static_cast<double>(std::max<std::size_t>(20, scale.evals / 50))));
+    config.grid_width = std::max<std::size_t>(4, side);
+    config.grid_height = std::max<std::size_t>(4, side);
+    config.max_evaluations = scale.evals;
+    config.archive_capacity = 100;
+    config.evaluator = evaluator;
+    return std::make_unique<moo::CellDe>(config);
+  }
+  if (name == "AEDB-MLS") {
+    return std::make_unique<core::AedbMls>(mls_config_for(scale));
+  }
+  if (name == "AEDB-MLS-sym") {  // E9: symmetric step
+    core::MlsConfig config = mls_config_for(scale);
+    config.symmetric_step = true;
+    return std::make_unique<core::AedbMls>(config);
+  }
+  if (name == "AEDB-MLS-unguided") {  // E9: no sensitivity guidance
+    core::MlsConfig config = mls_config_for(scale);
+    config.criteria = core::all_variables_criterion(5);
+    return std::make_unique<core::AedbMls>(config);
+  }
+  if (name == "AEDB-MLS-pervar") {  // E9: guidance without grouping
+    core::MlsConfig config = mls_config_for(scale);
+    config.criteria = core::per_variable_criteria(5);
+    return std::make_unique<core::AedbMls>(config);
+  }
+  if (name == "CellDE+MLS") {  // the paper's future-work hybrid (S13)
+    core::CellDeMlsHybrid::Config config;
+    config.cellde.grid_width = 5;
+    config.cellde.grid_height = 4;
+    config.cellde.max_evaluations = scale.evals;
+    config.cellde.archive_capacity = 100;
+    config.cellde.evaluator = evaluator;
+    config.mls = mls_config_for(scale);
+    config.mls.evaluations_per_thread =
+        std::max<std::size_t>(1, config.mls.evaluations_per_thread / 2);
+    config.explore_fraction = 0.5;
+    return std::make_unique<core::CellDeMlsHybrid>(config);
+  }
+  if (name == "Random") {
+    moo::RandomSearch::Config config;
+    config.max_evaluations = scale.evals;
+    config.archive_capacity = 100;
+    config.evaluator = evaluator;
+    return std::make_unique<moo::RandomSearch>(config);
+  }
+  AEDB_UNREACHABLE("unknown algorithm name");
+}
+
+std::vector<RunRecord> run_repeats(const std::string& algorithm, int density,
+                                   const Scale& scale,
+                                   par::ThreadPool* evaluator) {
+  const aedb::AedbTuningProblem problem(problem_config(density, scale));
+  std::vector<RunRecord> records;
+  records.reserve(scale.runs);
+  for (std::size_t run = 0; run < scale.runs; ++run) {
+    const std::uint64_t run_seed =
+        hash_combine(hash_combine(scale.seed, static_cast<std::uint64_t>(density)),
+                     run + 1);
+    auto instance = make_algorithm(algorithm, scale, evaluator);
+    const moo::AlgorithmResult result = instance->run(problem, run_seed);
+    RunRecord record;
+    record.algorithm = algorithm;
+    record.density = density;
+    record.run_seed = run_seed;
+    record.front = result.front;
+    record.evaluations = result.evaluations;
+    record.wall_seconds = result.wall_seconds;
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+std::vector<IndicatorSample> collect_indicator_samples(
+    const std::vector<std::string>& algorithms, const Scale& scale,
+    bool use_cache, std::vector<RunRecord>* records_out) {
+  const std::string path = cache_path(algorithms, scale);
+  if (use_cache && records_out == nullptr) {
+    if (auto cached = load_cache(path)) {
+      std::printf("[cache] loaded %zu indicator samples from %s\n",
+                  cached->size(), path.c_str());
+      return *cached;
+    }
+  }
+
+  par::ThreadPool pool;
+  std::vector<IndicatorSample> samples;
+  for (const int density : scale.densities) {
+    // All runs of all algorithms on this density.
+    std::vector<RunRecord> records;
+    for (const auto& algorithm : algorithms) {
+      std::printf("[run] %-18s density %d: %zu runs x %zu evals...\n",
+                  algorithm.c_str(), density, scale.runs, scale.evals);
+      std::fflush(stdout);
+      auto batch = run_repeats(algorithm, density, scale, &pool);
+      records.insert(records.end(), std::make_move_iterator(batch.begin()),
+                     std::make_move_iterator(batch.end()));
+    }
+
+    // The paper's protocol: reference front = non-dominated union of every
+    // run of every algorithm; all fronts normalised by its bounds.
+    std::vector<std::vector<moo::Solution>> fronts;
+    fronts.reserve(records.size());
+    for (const RunRecord& record : records) fronts.push_back(record.front);
+    const auto reference = moo::merge_fronts(fronts);
+    if (reference.empty()) {
+      log_warn("empty reference front for density ", density);
+      continue;
+    }
+    const moo::ObjectiveBounds bounds = moo::bounds_of(reference);
+    const auto reference_norm = moo::normalize_front(reference, bounds);
+
+    for (const RunRecord& record : records) {
+      IndicatorSample sample;
+      sample.algorithm = record.algorithm;
+      sample.density = density;
+      sample.run_seed = record.run_seed;
+      if (!record.front.empty()) {
+        const auto front = moo::normalize_front(record.front, bounds);
+        sample.hypervolume = moo::hypervolume(front, moo::unit_reference(3));
+        sample.igd = moo::paper_igd(front, reference_norm);
+        sample.spread = moo::generalized_spread(front, reference_norm);
+      }
+      samples.push_back(std::move(sample));
+    }
+    if (records_out != nullptr) {
+      records_out->insert(records_out->end(),
+                          std::make_move_iterator(records.begin()),
+                          std::make_move_iterator(records.end()));
+    }
+  }
+  store_cache(path, samples);
+  return samples;
+}
+
+std::vector<double> extract(const std::vector<IndicatorSample>& samples,
+                            const std::string& algorithm, int density,
+                            double IndicatorSample::* member) {
+  std::vector<double> out;
+  for (const IndicatorSample& s : samples) {
+    if (s.algorithm == algorithm && s.density == density) {
+      out.push_back(s.*member);
+    }
+  }
+  return out;
+}
+
+std::size_t dominance_count(const std::vector<moo::Solution>& a,
+                            const std::vector<moo::Solution>& b) {
+  std::size_t count = 0;
+  for (const moo::Solution& target : b) {
+    for (const moo::Solution& candidate : a) {
+      if (moo::dominates(candidate, target)) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace aedbmls::expt

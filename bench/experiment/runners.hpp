@@ -1,0 +1,84 @@
+#pragma once
+
+/// Shared experiment plumbing: algorithm factories configured per the paper,
+/// repeated-run execution, reference-front construction and normalised
+/// indicator collection — the machinery behind E4 (Fig. 6), E5 (Fig. 7) and
+/// E6 (Table IV).
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "aedb/tuning_problem.hpp"
+#include "experiment/scale.hpp"
+#include "moo/algorithms/algorithm.hpp"
+#include "par/thread_pool.hpp"
+
+namespace aedbmls::expt {
+
+/// The three contenders of the paper's §VI.
+inline const std::vector<std::string>& paper_algorithms() {
+  static const std::vector<std::string> names{"CellDE", "NSGAII", "AEDB-MLS"};
+  return names;
+}
+
+/// Tuning problem for one density under the given scale (shared network
+/// ensemble seed so every algorithm sees identical instances).
+[[nodiscard]] aedb::AedbTuningProblem::Config problem_config(int density,
+                                                             const Scale& scale);
+
+/// Instantiates an algorithm by name ("NSGAII", "CellDE", "AEDB-MLS",
+/// "AEDB-MLS-sym", "AEDB-MLS-unguided", "AEDB-MLS-pervar", "CellDE+MLS",
+/// "Random") configured per the paper and the scale.  `evaluator` is used by
+/// the generational EAs when non-null (the paper ran them serially; see
+/// EXPERIMENTS.md for where we deviate and why).
+[[nodiscard]] std::unique_ptr<moo::Algorithm> make_algorithm(
+    const std::string& name, const Scale& scale,
+    par::ThreadPool* evaluator = nullptr);
+
+/// One (algorithm, density, run) outcome.
+struct RunRecord {
+  std::string algorithm;
+  int density = 0;
+  std::uint64_t run_seed = 0;
+  std::vector<moo::Solution> front;
+  std::size_t evaluations = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Executes `scale.runs` independent runs of `algorithm` on `density`.
+[[nodiscard]] std::vector<RunRecord> run_repeats(const std::string& algorithm,
+                                                 int density, const Scale& scale,
+                                                 par::ThreadPool* evaluator);
+
+/// Normalised quality indicators of one run against a reference front.
+struct IndicatorSample {
+  std::string algorithm;
+  int density = 0;
+  std::uint64_t run_seed = 0;
+  double hypervolume = 0.0;
+  double igd = 0.0;     ///< the paper's Eq. 3
+  double spread = 0.0;  ///< generalised spread (3 objectives)
+};
+
+/// Runs all `algorithms` x `scale.densities` x `scale.runs`, builds the
+/// per-density reference front from ALL runs (the paper's normalisation
+/// protocol), and returns per-run indicators.  Results are cached as CSV
+/// under `results/` keyed by the scale fingerprint; pass `use_cache=false`
+/// (--no-cache) to force recomputation.  `records_out`, when non-null, also
+/// receives the raw fronts (Fig. 6 needs them).
+[[nodiscard]] std::vector<IndicatorSample> collect_indicator_samples(
+    const std::vector<std::string>& algorithms, const Scale& scale,
+    bool use_cache, std::vector<RunRecord>* records_out = nullptr);
+
+/// Values of one (algorithm, density) cell, in run order.
+[[nodiscard]] std::vector<double> extract(
+    const std::vector<IndicatorSample>& samples, const std::string& algorithm,
+    int density, double IndicatorSample::* member);
+
+/// Counts how many solutions of `b` are dominated by at least one of `a`.
+[[nodiscard]] std::size_t dominance_count(const std::vector<moo::Solution>& a,
+                                          const std::vector<moo::Solution>& b);
+
+}  // namespace aedbmls::expt

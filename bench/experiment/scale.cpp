@@ -1,0 +1,85 @@
+#include "experiment/scale.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace aedbmls::expt {
+namespace {
+
+Scale preset(const std::string& name) {
+  Scale scale;
+  scale.name = name;
+  if (name == "paper") {
+    scale.networks = 10;
+    scale.runs = 30;
+    scale.evals = 24000;
+    scale.mls_populations = 8;
+    scale.mls_threads = 12;
+    scale.sa_samples = 1001;
+  } else if (name == "small") {
+    scale.networks = 5;
+    scale.runs = 10;
+    scale.evals = 600;
+    scale.mls_populations = 4;
+    scale.mls_threads = 3;
+    scale.sa_samples = 129;
+  } else {
+    if (name != "smoke") {
+      log_warn("unknown scale '", name, "', using smoke");
+    }
+    scale.name = "smoke";
+  }
+  return scale;
+}
+
+std::vector<int> parse_densities(const std::string& csv) {
+  std::vector<int> out;
+  std::istringstream is(csv);
+  std::string token;
+  while (std::getline(is, token, ',')) {
+    if (!token.empty()) out.push_back(std::stoi(token));
+  }
+  return out;
+}
+
+}  // namespace
+
+Scale resolve_scale(const CliArgs& args) {
+  const std::string name = args.get("scale", env_or("AEDB_SCALE", "smoke"));
+  Scale scale = preset(name);
+  scale.networks = static_cast<std::size_t>(
+      args.get_int("networks", static_cast<long>(scale.networks)));
+  scale.runs = static_cast<std::size_t>(
+      args.get_int("runs", static_cast<long>(scale.runs)));
+  scale.evals = static_cast<std::size_t>(
+      args.get_int("evals", static_cast<long>(scale.evals)));
+  scale.sa_samples = static_cast<std::size_t>(
+      args.get_int("sa-samples", static_cast<long>(scale.sa_samples)));
+  scale.seed = static_cast<std::uint64_t>(
+      args.get_int("seed", static_cast<long>(scale.seed)));
+  if (args.has("densities")) {
+    scale.densities = parse_densities(args.get("densities"));
+  }
+  return scale;
+}
+
+void print_header(const std::string& bench_name, const std::string& regenerates,
+                  const Scale& scale) {
+  std::printf("================================================================\n");
+  std::printf("%s — regenerates %s\n", bench_name.c_str(), regenerates.c_str());
+  std::printf("paper setup (Tables II/III): 500x500 m arena, random walk <=2 m/s\n");
+  std::printf("  (direction change 20 s), beacons 1 Hz, default tx 16.02 dBm,\n");
+  std::printf("  broadcast at t=30 s, end t=40 s; domains: delay [0,1]/[0,5] s,\n");
+  std::printf("  border [-95,-70] dBm, margin [0,3] dB, neighbors [0,50]\n");
+  std::printf("scale '%s': %zu networks/eval, %zu runs, %zu evals/run, "
+              "MLS %zux%zu, seed %llu\n",
+              scale.name.c_str(), scale.networks, scale.runs, scale.evals,
+              scale.mls_populations, scale.mls_threads,
+              static_cast<unsigned long long>(scale.seed));
+  std::printf("  (set AEDB_SCALE=paper or --runs/--evals/... to rescale)\n");
+  std::printf("================================================================\n\n");
+}
+
+}  // namespace aedbmls::expt

@@ -1,0 +1,50 @@
+#pragma once
+
+/// Experiment scale management.
+///
+/// Every table/figure bench honours three preset scales selected by the
+/// `AEDB_SCALE` environment variable or `--scale=` flag:
+///   * smoke (default) — minutes on a laptop: fewer evaluation networks,
+///     small budgets, few repetitions.  Shapes are preserved, variance is
+///     higher.
+///   * small — tens of minutes: intermediate.
+///   * paper — the paper's §V setup: 10 networks per evaluation,
+///     8 populations x 12 threads x 250 evaluations, 30 repetitions.
+/// Individual knobs can be overridden by flags (--runs, --evals,
+/// --networks, --densities=100,200).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+
+namespace aedbmls::expt {
+
+struct Scale {
+  std::string name = "smoke";
+  std::size_t networks = 3;   ///< evaluation networks per fitness call
+  std::size_t runs = 5;       ///< independent runs per (algorithm, density)
+  std::size_t evals = 120;    ///< evaluation budget per algorithm run
+  std::size_t mls_populations = 2;
+  std::size_t mls_threads = 2;
+  std::size_t sa_samples = 65;  ///< FAST99 Ns per factor
+  std::vector<int> densities{100, 200, 300};
+  std::uint64_t seed = 20130520;  ///< master seed (network ensemble + runs)
+
+  /// MLS per-thread budget for the configured layout.
+  [[nodiscard]] std::size_t mls_evals_per_thread() const {
+    const std::size_t workers = mls_populations * mls_threads;
+    return std::max<std::size_t>(1, evals / workers);
+  }
+};
+
+/// Resolves the scale from AEDB_SCALE / --scale, then applies flag overrides.
+[[nodiscard]] Scale resolve_scale(const CliArgs& args);
+
+/// Prints the standard bench header: experiment id, the paper's fixed
+/// configuration (Tables II/III) and the active scale.
+void print_header(const std::string& bench_name, const std::string& regenerates,
+                  const Scale& scale);
+
+}  // namespace aedbmls::expt

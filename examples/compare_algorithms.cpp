@@ -1,0 +1,104 @@
+/// Head-to-head of the three algorithms of the paper (plus random search as
+/// a floor) on the AEDB tuning problem, with normalised quality indicators
+/// against the combined reference front — §VI's comparison in miniature.
+///
+///   ./compare_algorithms [--density=100] [--evals=120] [--networks=3]
+///                        [--seed=3]
+
+#include <cstdio>
+#include <memory>
+
+#include "aedb/tuning_problem.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/mls.hpp"
+#include "moo/algorithms/cellde.hpp"
+#include "moo/algorithms/nsga2.hpp"
+#include "moo/algorithms/random_search.hpp"
+#include "moo/core/front_io.hpp"
+#include "moo/core/normalization.hpp"
+#include "moo/indicators/hypervolume.hpp"
+#include "moo/indicators/igd.hpp"
+#include "moo/indicators/spread.hpp"
+
+int main(int argc, char** argv) {
+  using namespace aedbmls;
+  const CliArgs args(argc, argv);
+  const auto evals = static_cast<std::size_t>(args.get_int("evals", 120));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 3));
+
+  aedb::AedbTuningProblem::Config problem_config;
+  problem_config.devices_per_km2 = static_cast<int>(args.get_int("density", 100));
+  problem_config.network_count =
+      static_cast<std::size_t>(args.get_int("networks", 3));
+  const aedb::AedbTuningProblem problem(problem_config);
+
+  par::ThreadPool pool;  // parallel evaluation for the generational EAs
+
+  std::vector<std::unique_ptr<moo::Algorithm>> algorithms;
+  {
+    moo::Nsga2::Config config;
+    config.population_size = 20;
+    config.max_evaluations = evals;
+    config.evaluator = &pool;
+    algorithms.push_back(std::make_unique<moo::Nsga2>(config));
+  }
+  {
+    moo::CellDe::Config config;
+    config.grid_width = 5;
+    config.grid_height = 4;
+    config.max_evaluations = evals;
+    config.evaluator = &pool;
+    algorithms.push_back(std::make_unique<moo::CellDe>(config));
+  }
+  {
+    core::MlsConfig config;
+    config.populations = 2;
+    config.threads_per_population = 2;
+    config.evaluations_per_thread = evals / 4;
+    config.reset_period = 15;
+    config.criteria = core::aedb_criteria();
+    algorithms.push_back(std::make_unique<core::AedbMls>(config));
+  }
+  {
+    moo::RandomSearch::Config config;
+    config.max_evaluations = evals;
+    config.evaluator = &pool;
+    algorithms.push_back(std::make_unique<moo::RandomSearch>(config));
+  }
+
+  std::printf("comparing on %s, ~%zu evaluations each\n\n",
+              problem.name().c_str(), evals);
+  std::vector<moo::AlgorithmResult> results;
+  std::vector<std::vector<moo::Solution>> fronts;
+  for (auto& algorithm : algorithms) {
+    results.push_back(algorithm->run(problem, seed));
+    fronts.push_back(results.back().front);
+    std::printf("  %-12s %5zu evals  %6.1f s  %3zu front points\n",
+                algorithm->name().c_str(), results.back().evaluations,
+                results.back().wall_seconds, results.back().front.size());
+  }
+
+  // Normalise against the combined reference front, as the paper does.
+  const auto reference = moo::merge_fronts(fronts);
+  const moo::ObjectiveBounds bounds = moo::bounds_of(reference);
+  const auto reference_norm = moo::normalize_front(reference, bounds);
+
+  TextTable table;
+  table.set_header({"algorithm", "hypervolume", "IGD(Eq.3)", "spread*"});
+  for (std::size_t i = 0; i < algorithms.size(); ++i) {
+    if (results[i].front.empty()) {
+      table.add_row({algorithms[i]->name(), "-", "-", "-"});
+      continue;
+    }
+    const auto front = moo::normalize_front(results[i].front, bounds);
+    table.add_row({algorithms[i]->name(),
+                   format_double(moo::hypervolume(front, moo::unit_reference(3)), 4),
+                   format_double(moo::paper_igd(front, reference_norm), 4),
+                   format_double(moo::generalized_spread(front, reference_norm), 4)});
+  }
+  std::printf("\n%s", table.to_string().c_str());
+  std::printf("(HV: higher better; IGD/spread: lower better; reference = "
+              "merged best of all runs)\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+#pragma once
+
+/// Metrics of one broadcast dissemination (§III-A of the paper).
+///
+/// * coverage        — devices (excluding the source) that received the
+///                     message at least once;
+/// * forwardings     — devices that re-transmitted it (source excluded);
+/// * energy_dbm_sum  — sum of the forwarding transmission powers in dBm.
+///                     This is the paper's "energy used" axis: its Pareto
+///                     plots span negative values, which only a dBm sum
+///                     produces (DESIGN.md substitution #4);
+/// * energy_mj       — physical radiated energy (mW·s) of the forwardings,
+///                     reported alongside as the linear-scale alternative;
+/// * broadcast_time  — origination to the last first-reception (0 when
+///                     nobody receives: no dissemination happened).
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/core/time.hpp"
+
+namespace aedbmls::aedb {
+
+struct BroadcastStats {
+  std::size_t network_size = 0;  ///< total devices incl. source
+  std::size_t coverage = 0;      ///< receivers, excluding the source
+  std::size_t forwardings = 0;   ///< re-transmitting devices
+  double energy_dbm_sum = 0.0;   ///< paper's energy metric
+  double energy_mj = 0.0;        ///< physical energy of forwardings
+  double broadcast_time_s = 0.0; ///< dissemination latency
+
+  // Diagnostics (not objectives):
+  std::uint64_t collisions = 0;      ///< SINR-failed receptions network-wide
+  std::uint64_t mac_drops = 0;       ///< frames dropped by CCA exhaustion
+  std::size_t drop_decisions = 0;    ///< nodes that chose not to forward
+
+  /// Coverage as a fraction of potential receivers.
+  [[nodiscard]] double coverage_fraction() const noexcept {
+    return network_size > 1
+               ? static_cast<double>(coverage) / static_cast<double>(network_size - 1)
+               : 0.0;
+  }
+};
+
+/// Per-simulation sink the AEDB applications report into.  Single-threaded
+/// (one collector per Simulator instance).
+class BroadcastStatsCollector {
+ public:
+  /// Declares the broadcast about to happen.
+  void begin(MessageId message, NodeId origin, sim::Time origination,
+             std::size_t network_size);
+
+  /// A node decoded the message for the first time.
+  void record_first_rx(NodeId node, sim::Time when);
+
+  /// A node's MAC put a data frame on the air.
+  void record_data_tx(NodeId node, double tx_power_dbm, double duration_s);
+
+  /// A node's protocol decided to drop (not forward).
+  void record_drop_decision(NodeId node);
+
+  /// A node's MAC gave up on a data frame (CCA exhaustion).
+  void record_mac_drop(NodeId node);
+
+  /// True when `node` already counted a first reception.
+  [[nodiscard]] bool has_received(NodeId node) const {
+    return first_rx_.count(node) > 0;
+  }
+
+  [[nodiscard]] NodeId origin() const noexcept { return origin_; }
+  [[nodiscard]] MessageId message() const noexcept { return message_; }
+
+  /// Per-node first-reception times (for traces and examples).
+  [[nodiscard]] const std::unordered_map<NodeId, sim::Time>& first_receptions()
+      const noexcept {
+    return first_rx_;
+  }
+
+  /// Closes the ledger; `total_collisions` comes from summing PHY counters.
+  [[nodiscard]] BroadcastStats finalize(std::uint64_t total_collisions) const;
+
+ private:
+  MessageId message_ = 0;
+  NodeId origin_ = kInvalidNode;
+  sim::Time origination_{};
+  std::size_t network_size_ = 0;
+  std::unordered_map<NodeId, sim::Time> first_rx_;
+  std::size_t forwardings_ = 0;
+  double energy_dbm_sum_ = 0.0;
+  double energy_mj_ = 0.0;
+  std::size_t drop_decisions_ = 0;
+  std::uint64_t mac_drops_ = 0;
+};
+
+}  // namespace aedbmls::aedb

@@ -1,0 +1,52 @@
+#pragma once
+
+/// One complete evaluation run: build a network, warm up beacons, broadcast
+/// once with a given AEDB configuration, collect the metrics.
+///
+/// Timeline (paper §V): the topology "evolves" for 30 s (free here — mobility
+/// is closed-form), beacons start shortly before so neighbor tables are warm,
+/// the broadcast starts at t = 30 s, and the simulation ends at t = 40 s.
+
+#include <cstdint>
+
+#include "aedb/aedb_app.hpp"
+#include "aedb/aedb_params.hpp"
+#include "aedb/broadcast_stats.hpp"
+#include "sim/net/network.hpp"
+
+namespace aedbmls::aedb {
+
+struct ScenarioConfig {
+  sim::NetworkConfig network{};       ///< topology, radio, mobility
+  sim::Time beacon_start = sim::seconds(27);  ///< >= 2 beacon rounds of warm-up
+  sim::Time beacon_period = sim::seconds(1);  ///< Table II: beacons every 1 s
+  sim::Time broadcast_at = sim::seconds(30);  ///< dissemination start
+  sim::Time end_at = sim::seconds(40);        ///< simulation stop
+  double default_tx_dbm = 16.02;      ///< Table II default transmission power
+  std::uint32_t data_bytes = 256;     ///< broadcast payload size
+  bool random_source = true;          ///< source drawn per network; else node 0
+};
+
+/// Table II densities: devices per km^2 on the 500 m x 500 m arena.
+[[nodiscard]] std::size_t nodes_for_density(int devices_per_km2,
+                                            double area_width = 500.0,
+                                            double area_height = 500.0);
+
+/// The paper's scenario for a given density (100, 200 or 300 devices/km^2)
+/// and evaluation-network index.
+[[nodiscard]] ScenarioConfig make_paper_scenario(int devices_per_km2,
+                                                 std::uint64_t seed,
+                                                 std::uint64_t network_index);
+
+/// Outcome of one scenario run.
+struct ScenarioResult {
+  BroadcastStats stats;
+  std::uint64_t events_executed = 0;  ///< simulator throughput metric
+};
+
+/// Runs the scenario once with the given protocol configuration.
+/// Deterministic: identical (config, params) always yields identical stats.
+[[nodiscard]] ScenarioResult run_scenario(const ScenarioConfig& config,
+                                          const AedbParams& params);
+
+}  // namespace aedbmls::aedb

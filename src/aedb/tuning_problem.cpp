@@ -1,0 +1,70 @@
+#include "aedb/tuning_problem.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace aedbmls::aedb {
+
+AedbTuningProblem::AedbTuningProblem(Config config) : config_(config) {
+  AEDB_REQUIRE(config_.network_count >= 1, "need at least one network");
+  config_.scenario.network.node_count =
+      nodes_for_density(config_.devices_per_km2,
+                        config_.scenario.network.area_width,
+                        config_.scenario.network.area_height);
+  config_.scenario.network.seed = config_.seed;
+}
+
+std::size_t AedbTuningProblem::dimensions() const {
+  return AedbParams::kDimensions;
+}
+
+std::pair<double, double> AedbTuningProblem::bounds(std::size_t dim) const {
+  AEDB_REQUIRE(dim < AedbParams::kDimensions, "bounds index out of range");
+  return AedbParams::domain()[dim];
+}
+
+AedbTuningProblem::Detail AedbTuningProblem::evaluate_detail(
+    const AedbParams& params) const {
+  Detail detail;
+  for (std::size_t net = 0; net < config_.network_count; ++net) {
+    ScenarioConfig scenario = config_.scenario;
+    scenario.network.network_index = net;
+    const ScenarioResult run = run_scenario(scenario, params);
+    detail.mean_energy_dbm += run.stats.energy_dbm_sum;
+    detail.mean_coverage += static_cast<double>(run.stats.coverage);
+    detail.mean_forwardings += static_cast<double>(run.stats.forwardings);
+    detail.mean_broadcast_time_s += run.stats.broadcast_time_s;
+    detail.mean_energy_mj += run.stats.energy_mj;
+  }
+  const double n = static_cast<double>(config_.network_count);
+  detail.mean_energy_dbm /= n;
+  detail.mean_coverage /= n;
+  detail.mean_forwardings /= n;
+  detail.mean_broadcast_time_s /= n;
+  detail.mean_energy_mj /= n;
+  return detail;
+}
+
+moo::Problem::Result AedbTuningProblem::evaluate(
+    const std::vector<double>& x) const {
+  const AedbParams params = AedbParams::from_vector(x);
+  const Detail detail = evaluate_detail(params);
+  evaluation_count_.fetch_add(1, std::memory_order_relaxed);
+
+  Result result;
+  result.objectives = {detail.mean_energy_dbm, -detail.mean_coverage,
+                       detail.mean_forwardings};
+  result.constraint_violation =
+      std::max(0.0, detail.mean_broadcast_time_s - config_.bt_limit_s);
+  return result;
+}
+
+std::string AedbTuningProblem::name() const {
+  std::ostringstream os;
+  os << "AEDB-" << config_.devices_per_km2 << "dev";
+  return os.str();
+}
+
+}  // namespace aedbmls::aedb

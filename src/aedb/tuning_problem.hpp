@@ -1,0 +1,66 @@
+#pragma once
+
+/// The AEDB tuning problem (Eq. 1 of the paper):
+///
+///   F(s) = [ min energy, max coverage, min forwardings ]  s.t.  bt < 2 s
+///
+/// A decision vector is the 5 AEDB parameters (Table III domains).  Each
+/// evaluation simulates the candidate configuration on the *same*
+/// `network_count` (10 in the paper) fixed random networks and averages the
+/// metrics.  Internally all objectives are minimised: coverage is negated
+/// (`objectives()[1] = -mean coverage`).  The constraint violation is
+/// `max(0, mean bt − 2 s)`.
+///
+/// `evaluate` is const and thread-safe: every call builds its own
+/// simulators, which is what lets AEDB-MLS run 96 concurrent evaluators.
+
+#include <atomic>
+#include <cstdint>
+
+#include "aedb/scenario.hpp"
+#include "moo/core/problem.hpp"
+
+namespace aedbmls::aedb {
+
+class AedbTuningProblem final : public moo::Problem {
+ public:
+  struct Config {
+    int devices_per_km2 = 100;      ///< 100 / 200 / 300 in the paper
+    std::size_t network_count = 10; ///< fixed evaluation networks
+    std::uint64_t seed = 20130520;  ///< identifies the network ensemble
+    double bt_limit_s = 2.0;        ///< broadcast-time constraint
+    ScenarioConfig scenario{};      ///< base scenario (node_count/seed set per network)
+  };
+
+  explicit AedbTuningProblem(Config config);
+
+  [[nodiscard]] std::size_t dimensions() const override;
+  [[nodiscard]] std::size_t objective_count() const override { return 3; }
+  [[nodiscard]] std::pair<double, double> bounds(std::size_t dim) const override;
+  [[nodiscard]] Result evaluate(const std::vector<double>& x) const override;
+  [[nodiscard]] std::string name() const override;
+
+  /// Full per-objective detail of one configuration (used by the benches
+  /// and the sensitivity analysis, which also needs the broadcast time).
+  struct Detail {
+    double mean_energy_dbm = 0.0;
+    double mean_coverage = 0.0;     ///< positive (devices reached)
+    double mean_forwardings = 0.0;
+    double mean_broadcast_time_s = 0.0;
+    double mean_energy_mj = 0.0;
+  };
+  [[nodiscard]] Detail evaluate_detail(const AedbParams& params) const;
+
+  /// Number of evaluate() calls so far (thread-safe; benches report it).
+  [[nodiscard]] std::uint64_t evaluations() const noexcept {
+    return evaluation_count_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+  mutable std::atomic<std::uint64_t> evaluation_count_{0};
+};
+
+}  // namespace aedbmls::aedb

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Runtime assertion that stays active in Release builds.
+///
+/// The simulator and optimiser rely on invariants (event ordering, archive
+/// consistency, bounds) whose violation would silently corrupt experiment
+/// results, so these checks are kept in optimised binaries.  The cost is a
+/// predictable branch per check and is negligible next to the surrounding
+/// work.  Use standard `assert` only for hot-loop checks that profiling shows
+/// to matter.
+#define AEDB_REQUIRE(cond, msg)                                              \
+  do {                                                                       \
+    if (!(cond)) [[unlikely]] {                                              \
+      std::fprintf(stderr, "FATAL %s:%d: requirement failed: %s — %s\n",     \
+                   __FILE__, __LINE__, #cond, msg);                          \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (false)
+
+/// Marks a code path that must be unreachable.
+#define AEDB_UNREACHABLE(msg)                                                \
+  do {                                                                       \
+    std::fprintf(stderr, "FATAL %s:%d: unreachable: %s\n", __FILE__,         \
+                 __LINE__, msg);                                             \
+    std::abort();                                                            \
+  } while (false)

@@ -1,0 +1,48 @@
+#pragma once
+
+/// Tiny command-line/environment option parser shared by the benches and
+/// examples.  Supports `--key=value`, `--key value` and boolean `--flag`.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace aedbmls {
+
+/// Parsed command line.
+class CliArgs {
+ public:
+  /// Parses argv; unknown options are kept (benches decide what to accept).
+  CliArgs(int argc, const char* const* argv);
+
+  /// True if `--name` was present (with or without value).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// String value of `--name`, or `fallback` when absent.
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback = "") const;
+
+  /// Integer value of `--name`, or `fallback` when absent/invalid.
+  [[nodiscard]] long get_int(const std::string& name, long fallback) const;
+
+  /// Double value of `--name`, or `fallback` when absent/invalid.
+  [[nodiscard]] double get_double(const std::string& name, double fallback) const;
+
+  /// Positional (non-option) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+/// Environment variable as string, or `fallback` when unset.
+[[nodiscard]] std::string env_or(const std::string& name, const std::string& fallback);
+
+/// Environment variable as long, or `fallback` when unset/invalid.
+[[nodiscard]] long env_or_int(const std::string& name, long fallback);
+
+}  // namespace aedbmls

@@ -1,0 +1,53 @@
+#pragma once
+
+/// Minimal thread-safe leveled logging to stderr.
+///
+/// Intended for harness/driver diagnostics, not per-event tracing: simulator
+/// hot paths must not log.  The active level is read once from the
+/// `AEDB_LOG` environment variable (error|warn|info|debug) and can be
+/// overridden programmatically.
+
+#include <sstream>
+#include <string>
+
+namespace aedbmls {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Returns the process-wide log level (default: warn).
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Overrides the process-wide log level.
+void set_log_level(LogLevel level) noexcept;
+
+/// Emits one log line (thread-safe; single write syscall per line).
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+void log_fmt(LogLevel level, const Args&... args) {
+  if (static_cast<int>(level) > static_cast<int>(log_level())) return;
+  std::ostringstream os;
+  (os << ... << args);
+  log_line(level, os.str());
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_error(const Args&... args) {
+  detail::log_fmt(LogLevel::kError, args...);
+}
+template <typename... Args>
+void log_warn(const Args&... args) {
+  detail::log_fmt(LogLevel::kWarn, args...);
+}
+template <typename... Args>
+void log_info(const Args&... args) {
+  detail::log_fmt(LogLevel::kInfo, args...);
+}
+template <typename... Args>
+void log_debug(const Args&... args) {
+  detail::log_fmt(LogLevel::kDebug, args...);
+}
+
+}  // namespace aedbmls

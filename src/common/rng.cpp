@@ -1,0 +1,34 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/assert.hpp"
+
+namespace aedbmls {
+
+std::uint64_t Xoshiro256::uniform_int(std::uint64_t n) noexcept {
+  AEDB_REQUIRE(n > 0, "uniform_int(n) needs n > 0");
+  // Lemire's multiply-shift with rejection of the biased low range.
+  __uint128_t m = static_cast<__uint128_t>((*this)()) * n;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    while (lo < threshold) {
+      m = static_cast<__uint128_t>((*this)()) * n;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Xoshiro256::normal() noexcept {
+  // Box-Muller; u1 is kept away from 0 to avoid log(0).
+  double u1 = uniform();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+}  // namespace aedbmls

@@ -1,0 +1,61 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace aedbmls {
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> values, double q) {
+  AEDB_REQUIRE(!values.empty(), "percentile of empty sample");
+  AEDB_REQUIRE(q >= 0.0 && q <= 1.0, "percentile q out of [0,1]");
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values.front();
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto idx = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(idx);
+  if (idx + 1 >= values.size()) return values.back();
+  return values[idx] + frac * (values[idx + 1] - values[idx]);
+}
+
+FiveNumberSummary five_number_summary(std::vector<double> values) {
+  AEDB_REQUIRE(!values.empty(), "five_number_summary of empty sample");
+  std::sort(values.begin(), values.end());
+  FiveNumberSummary s;
+  s.q1 = percentile(values, 0.25);
+  s.median = percentile(values, 0.50);
+  s.q3 = percentile(values, 0.75);
+  const double iqr = s.q3 - s.q1;
+  const double lo_fence = s.q1 - 1.5 * iqr;
+  const double hi_fence = s.q3 + 1.5 * iqr;
+  s.min = s.q3;  // re-derived below from first non-outlier
+  s.max = s.q1;
+  bool found = false;
+  for (double v : values) {
+    if (v < lo_fence || v > hi_fence) {
+      s.outliers.push_back(v);
+    } else {
+      if (!found || v < s.min) s.min = std::min(found ? s.min : v, v);
+      s.max = found ? std::max(s.max, v) : v;
+      if (!found) {
+        s.min = v;
+        found = true;
+      }
+    }
+  }
+  if (!found) {  // every point an "outlier" (degenerate); fall back to range
+    s.min = values.front();
+    s.max = values.back();
+    s.outliers.clear();
+  }
+  return s;
+}
+
+double median(std::vector<double> values) {
+  return percentile(std::move(values), 0.5);
+}
+
+}  // namespace aedbmls

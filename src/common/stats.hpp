@@ -1,0 +1,62 @@
+#pragma once
+
+/// Descriptive statistics used across the experiment harnesses.
+
+#include <cstddef>
+#include <vector>
+
+namespace aedbmls {
+
+/// Online mean/variance accumulator (Welford).  Numerically stable for the
+/// long accumulation runs the benches perform.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_ || n_ == 1) min_ = x;
+    if (x > max_ || n_ == 1) max_ = x;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Linear-interpolated percentile (R-7 / NumPy default).  `q` in [0,1].
+/// The input is copied and sorted; n must be >= 1.
+[[nodiscard]] double percentile(std::vector<double> values, double q);
+
+/// Five-number summary used to draw boxplots.
+struct FiveNumberSummary {
+  double min = 0.0;      ///< smallest non-outlier (lower whisker)
+  double q1 = 0.0;       ///< first quartile
+  double median = 0.0;   ///< second quartile
+  double q3 = 0.0;       ///< third quartile
+  double max = 0.0;      ///< largest non-outlier (upper whisker)
+  std::vector<double> outliers;  ///< points beyond 1.5*IQR whiskers
+};
+
+/// Computes the Tukey five-number summary (whiskers at 1.5*IQR).
+[[nodiscard]] FiveNumberSummary five_number_summary(std::vector<double> values);
+
+/// Median convenience wrapper.
+[[nodiscard]] double median(std::vector<double> values);
+
+}  // namespace aedbmls

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace aedbmls {
+
+/// Identifier of a node in a simulated network.  Dense, starting at zero.
+using NodeId = std::uint32_t;
+
+/// Sentinel meaning "no node".
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Identifier of a broadcast message (unique per simulation).
+using MessageId = std::uint64_t;
+
+/// Infinity shorthand for doubles.
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace aedbmls

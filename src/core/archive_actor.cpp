@@ -1,0 +1,57 @@
+#include "core/archive_actor.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace aedbmls::core {
+
+ArchiveActor::ArchiveActor(std::size_t capacity, std::uint32_t grid_depth,
+                           std::uint64_t seed)
+    : archive_(capacity, grid_depth), rng_(seed) {
+  thread_ = std::thread([this] { run(); });
+}
+
+ArchiveActor::~ArchiveActor() { stop(); }
+
+void ArchiveActor::run() {
+  while (auto message = mailbox_.recv()) {
+    if (auto* insert = std::get_if<InsertMsg>(&*message)) {
+      ++counters_.inserts_received;
+      if (archive_.try_insert(insert->solution)) ++counters_.inserts_accepted;
+    } else if (auto* sample = std::get_if<SampleMsg>(&*message)) {
+      ++counters_.samples_served;
+      std::vector<moo::Solution> out;
+      if (!archive_.empty()) out = archive_.sample(sample->count, rng_);
+      sample->reply.set_value(std::move(out));
+    } else if (auto* snapshot = std::get_if<SnapshotMsg>(&*message)) {
+      snapshot->reply.set_value(archive_.contents());
+    }
+  }
+}
+
+void ArchiveActor::insert(moo::Solution s) {
+  mailbox_.send(InsertMsg{std::move(s)});
+}
+
+std::vector<moo::Solution> ArchiveActor::sample(std::size_t count) {
+  SampleMsg msg;
+  msg.count = count;
+  std::future<std::vector<moo::Solution>> reply = msg.reply.get_future();
+  if (!mailbox_.send(std::move(msg))) return {};
+  return reply.get();
+}
+
+std::vector<moo::Solution> ArchiveActor::snapshot() {
+  SnapshotMsg msg;
+  std::future<std::vector<moo::Solution>> reply = msg.reply.get_future();
+  if (!mailbox_.send(std::move(msg))) return {};
+  return reply.get();
+}
+
+void ArchiveActor::stop() {
+  mailbox_.close();
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace aedbmls::core

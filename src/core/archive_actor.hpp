@@ -1,0 +1,80 @@
+#pragma once
+
+/// The distributed external archive of AEDB-MLS, realised as an actor.
+///
+/// The paper's hybrid model uses *message passing* between the distributed
+/// populations and the external archive (§IV).  Here the archive (AGA,
+/// §IV-A) runs on its own thread and speaks an asynchronous protocol over a
+/// mailbox:
+///   * Insert   — fire-and-forget candidate submission (Fig. 3 line 10);
+///   * Sample   — request/reply: k members drawn uniformly, used by the
+///                re-initialisation step (line 14);
+///   * Snapshot — request/reply: full contents (final front extraction).
+/// Swapping the mailbox for MPI messages would not change any caller.
+
+#include <cstdint>
+#include <future>
+#include <thread>
+#include <variant>
+
+#include "moo/core/aga_archive.hpp"
+#include "par/mailbox.hpp"
+
+namespace aedbmls::core {
+
+class ArchiveActor {
+ public:
+  /// Starts the actor thread.  `seed` drives the sampling RNG.
+  ArchiveActor(std::size_t capacity, std::uint32_t grid_depth,
+               std::uint64_t seed);
+
+  /// Stops and joins the actor.
+  ~ArchiveActor();
+
+  ArchiveActor(const ArchiveActor&) = delete;
+  ArchiveActor& operator=(const ArchiveActor&) = delete;
+
+  /// Asynchronously offers a solution to the archive.
+  void insert(moo::Solution s);
+
+  /// Synchronously draws `count` members (uniform, with replacement).
+  /// Returns fewer (possibly zero) when the archive holds fewer members.
+  [[nodiscard]] std::vector<moo::Solution> sample(std::size_t count);
+
+  /// Synchronously copies the current non-dominated set.
+  [[nodiscard]] std::vector<moo::Solution> snapshot();
+
+  /// Drains pending messages and stops the actor (idempotent).
+  void stop();
+
+  struct Counters {
+    std::uint64_t inserts_received = 0;
+    std::uint64_t inserts_accepted = 0;
+    std::uint64_t samples_served = 0;
+  };
+  /// Valid after stop() (read from the owner thread).
+  [[nodiscard]] const Counters& counters() const noexcept { return counters_; }
+
+ private:
+  struct InsertMsg {
+    moo::Solution solution;
+  };
+  struct SampleMsg {
+    std::size_t count;
+    std::promise<std::vector<moo::Solution>> reply;
+  };
+  struct SnapshotMsg {
+    std::promise<std::vector<moo::Solution>> reply;
+  };
+  using Message = std::variant<InsertMsg, SampleMsg, SnapshotMsg>;
+
+  void run();
+
+  moo::AgaArchive archive_;
+  Xoshiro256 rng_;
+  par::Mailbox<Message> mailbox_;
+  Counters counters_;
+  std::thread thread_;
+};
+
+}  // namespace aedbmls::core

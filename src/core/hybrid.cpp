@@ -1,0 +1,51 @@
+#include "core/hybrid.hpp"
+
+#include <chrono>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "moo/core/front_io.hpp"
+
+namespace aedbmls::core {
+
+moo::AlgorithmResult CellDeMlsHybrid::run(const moo::Problem& problem,
+                                          std::uint64_t seed) {
+  const auto start = std::chrono::steady_clock::now();
+  AEDB_REQUIRE(config_.explore_fraction > 0.0 && config_.explore_fraction < 1.0,
+               "explore_fraction must be in (0,1)");
+
+  // Phase 1: CellDE exploration on a reduced budget.
+  moo::CellDe::Config explore = config_.cellde;
+  explore.max_evaluations = static_cast<std::size_t>(
+      static_cast<double>(explore.max_evaluations) * config_.explore_fraction);
+  explore.max_evaluations =
+      std::max<std::size_t>(explore.max_evaluations,
+                            explore.grid_width * explore.grid_height * 2);
+  moo::CellDe cellde(explore);
+  const moo::AlgorithmResult phase1 = cellde.run(problem, seed);
+
+  // Phase 2: MLS refinement warm-started from the exploration front.
+  MlsConfig refine = config_.mls;
+  refine.initial_solutions.clear();
+  const std::size_t workers = refine.populations * refine.threads_per_population;
+  if (!phase1.front.empty()) {
+    Xoshiro256 rng(hash_combine(seed, 0xCe11));
+    refine.initial_solutions.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+      refine.initial_solutions.push_back(
+          phase1.front[rng.uniform_int(phase1.front.size())]);
+    }
+  }
+  AedbMls mls(refine);
+  const moo::AlgorithmResult phase2 = mls.run(problem, hash_combine(seed, 2));
+
+  moo::AlgorithmResult result;
+  result.front = moo::merge_fronts({phase1.front, phase2.front});
+  result.evaluations = phase1.evaluations + phase2.evaluations;
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace aedbmls::core

@@ -1,0 +1,216 @@
+#include "core/mls.hpp"
+
+#include <atomic>
+#include <barrier>
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "common/assert.hpp"
+#include "moo/core/nds.hpp"
+#include "moo/operators/blx_alpha.hpp"
+
+namespace aedbmls::core {
+namespace {
+
+/// Everything one worker thread needs; shared pieces by reference.
+struct WorkerContext {
+  const moo::Problem& problem;
+  const MlsConfig& config;
+  const std::vector<SearchCriterion>& criteria;
+  SharedPopulation& population;
+  std::barrier<>& population_barrier;
+  ArchiveActor& archive;
+  std::size_t slot;     ///< this worker's slot in its population
+  Xoshiro256 rng;
+  const moo::Solution* warm_start = nullptr;  ///< optional initial solution
+
+  // Shared counters.
+  std::atomic<std::uint64_t>& evaluations;
+  std::atomic<std::uint64_t>& accepted;
+  std::atomic<std::uint64_t>& rejected_infeasible;
+  std::atomic<std::uint64_t>& resets;
+};
+
+/// Initial solution: warm start if provided, otherwise random with a few
+/// retries toward feasibility (the paper initialises with feasible
+/// solutions; retries are capped because feasibility can be rare).
+moo::Solution initialise_solution(WorkerContext& ctx) {
+  if (ctx.warm_start != nullptr) {
+    moo::Solution s = *ctx.warm_start;
+    if (!s.evaluated) {
+      ctx.problem.evaluate_into(s);
+      ctx.evaluations.fetch_add(1, std::memory_order_relaxed);
+    }
+    return s;
+  }
+  moo::Solution best;
+  for (std::size_t attempt = 0;
+       attempt <= ctx.config.feasible_init_retries; ++attempt) {
+    moo::Solution s;
+    s.x = ctx.problem.random_point(ctx.rng);
+    ctx.problem.evaluate_into(s);
+    ctx.evaluations.fetch_add(1, std::memory_order_relaxed);
+    if (!best.evaluated ||
+        s.constraint_violation < best.constraint_violation) {
+      best = std::move(s);
+    }
+    if (best.feasible()) break;
+  }
+  return best;
+}
+
+/// The local-search procedure of Fig. 3, lines 1-17.
+void worker_loop(WorkerContext ctx) {
+  // Lines 1-3: initialise, evaluate, store.
+  moo::Solution s = initialise_solution(ctx);
+  ctx.archive.insert(s);
+  ctx.population.set(ctx.slot, s);
+
+  // Line 4: wait until the local population is fully initialised.
+  ctx.population_barrier.arrive_and_wait();
+
+  const auto bounds = moo::bounds_vector(ctx.problem);
+  const std::size_t budget = ctx.config.evaluations_per_thread;
+  std::size_t spent = 1;  // the initial evaluation above (at least one)
+  std::size_t iteration = 0;
+
+  // Line 5: main loop.  All threads of a population execute the same
+  // number of iterations, so the reset barriers always match up.
+  while (spent < budget) {
+    // Line 6: teammate t guides the perturbation magnitude.
+    const moo::Solution t = ctx.population.random_other(ctx.slot, ctx.rng);
+
+    // Line 7: one search criterion, applied variable-wise (Eq. 2).
+    const SearchCriterion& criterion =
+        ctx.criteria[ctx.rng.uniform_int(ctx.criteria.size())];
+    moo::Solution candidate;
+    candidate.x = s.x;
+    for (const std::size_t v : criterion.variables) {
+      candidate.x[v] =
+          ctx.config.symmetric_step
+              ? moo::symmetric_blx_step(s.x[v], t.x[v], ctx.config.alpha, ctx.rng)
+              : moo::paper_blx_step(s.x[v], t.x[v], ctx.config.alpha, ctx.rng);
+    }
+    ctx.problem.clamp(candidate.x);
+
+    // Line 8: evaluate.
+    ctx.problem.evaluate_into(candidate);
+    ctx.evaluations.fetch_add(1, std::memory_order_relaxed);
+    ++spent;
+
+    // Lines 9-12: accept only feasible perturbations.
+    if (candidate.feasible()) {
+      ctx.archive.insert(candidate);
+      s = std::move(candidate);
+      ctx.population.set(ctx.slot, s);
+      ctx.accepted.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      ctx.rejected_infeasible.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    // Lines 13-16: periodic re-initialisation from the external archive.
+    ++iteration;
+    if (iteration % ctx.config.reset_period == 0 && spent < budget) {
+      auto sampled = ctx.archive.sample(1);
+      if (!sampled.empty()) {
+        s = std::move(sampled.front());
+        ctx.population.set(ctx.slot, s);
+      }
+      ctx.resets.fetch_add(1, std::memory_order_relaxed);
+      ctx.population_barrier.arrive_and_wait();
+    }
+  }
+
+  // Drop out of future barrier rounds so remaining threads (none, since all
+  // schedules are identical) are not blocked.
+  ctx.population_barrier.arrive_and_drop();
+}
+
+}  // namespace
+
+moo::AlgorithmResult AedbMls::run(const moo::Problem& problem,
+                                  std::uint64_t seed) {
+  const auto start = std::chrono::steady_clock::now();
+  AEDB_REQUIRE(config_.populations >= 1, "need at least one population");
+  AEDB_REQUIRE(config_.threads_per_population >= 1, "need at least one thread");
+  AEDB_REQUIRE(config_.reset_period >= 1, "reset period must be >= 1");
+  AEDB_REQUIRE(config_.alpha > 0.0 && config_.alpha < 1.0,
+               "alpha outside (0,1)");
+
+  std::vector<SearchCriterion> criteria = config_.criteria;
+  if (criteria.empty()) {
+    criteria = all_variables_criterion(problem.dimensions());
+  }
+  validate_criteria(criteria, problem.dimensions());
+
+  ArchiveActor archive(config_.archive_capacity, config_.grid_depth,
+                       hash_combine(seed, 0xA2C41));
+
+  std::atomic<std::uint64_t> evaluations{0};
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> rejected{0};
+  std::atomic<std::uint64_t> resets{0};
+
+  // One SharedPopulation + barrier per island; one OS thread per worker
+  // (the paper's deployment maps islands to cluster nodes and workers to
+  // cores; see DESIGN.md substitution #2).
+  std::vector<std::unique_ptr<SharedPopulation>> populations;
+  std::vector<std::unique_ptr<std::barrier<>>> barriers;
+  for (std::size_t p = 0; p < config_.populations; ++p) {
+    populations.push_back(
+        std::make_unique<SharedPopulation>(config_.threads_per_population));
+    barriers.push_back(std::make_unique<std::barrier<>>(
+        static_cast<std::ptrdiff_t>(config_.threads_per_population)));
+  }
+
+  std::vector<std::thread> workers;
+  workers.reserve(config_.populations * config_.threads_per_population);
+  for (std::size_t p = 0; p < config_.populations; ++p) {
+    for (std::size_t w = 0; w < config_.threads_per_population; ++w) {
+      const std::uint64_t worker_seed =
+          hash_combine(hash_combine(seed, p + 1), w + 1);
+      const moo::Solution* warm = nullptr;
+      const std::size_t flat = p * config_.threads_per_population + w;
+      if (flat < config_.initial_solutions.size()) {
+        warm = &config_.initial_solutions[flat];
+      }
+      workers.emplace_back([&, p, w, worker_seed, warm] {
+        WorkerContext ctx{problem,
+                          config_,
+                          criteria,
+                          *populations[p],
+                          *barriers[p],
+                          archive,
+                          w,
+                          Xoshiro256(worker_seed),
+                          warm,
+                          evaluations,
+                          accepted,
+                          rejected,
+                          resets};
+        worker_loop(std::move(ctx));
+      });
+    }
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  moo::AlgorithmResult result;
+  result.front = archive.snapshot();
+  archive.stop();
+
+  stats_ = Stats{};
+  stats_.evaluations = evaluations.load();
+  stats_.accepted_moves = accepted.load();
+  stats_.rejected_infeasible = rejected.load();
+  stats_.resets = resets.load();
+  stats_.archive_inserts_accepted = archive.counters().inserts_accepted;
+
+  result.evaluations = stats_.evaluations;
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace aedbmls::core

@@ -1,0 +1,44 @@
+#include "core/search_criteria.hpp"
+
+#include "common/assert.hpp"
+
+namespace aedbmls::core {
+
+// Indices follow AedbParams decision-vector order:
+// 0=min_delay 1=max_delay 2=border_threshold 3=margin_threshold 4=neighbors.
+std::vector<SearchCriterion> aedb_criteria() {
+  return {
+      SearchCriterion{"energy+forwardings", {2, 4}},
+      SearchCriterion{"coverage", {4}},
+      SearchCriterion{"broadcast_time", {0, 1}},
+  };
+}
+
+std::vector<SearchCriterion> all_variables_criterion(std::size_t dimensions) {
+  SearchCriterion criterion{"all", {}};
+  criterion.variables.reserve(dimensions);
+  for (std::size_t d = 0; d < dimensions; ++d) criterion.variables.push_back(d);
+  return {criterion};
+}
+
+std::vector<SearchCriterion> per_variable_criteria(std::size_t dimensions) {
+  std::vector<SearchCriterion> out;
+  out.reserve(dimensions);
+  for (std::size_t d = 0; d < dimensions; ++d) {
+    out.push_back(SearchCriterion{"var" + std::to_string(d), {d}});
+  }
+  return out;
+}
+
+void validate_criteria(const std::vector<SearchCriterion>& criteria,
+                       std::size_t dimensions) {
+  AEDB_REQUIRE(!criteria.empty(), "no search criteria");
+  for (const SearchCriterion& criterion : criteria) {
+    AEDB_REQUIRE(!criterion.variables.empty(), "empty search criterion");
+    for (const std::size_t v : criterion.variables) {
+      AEDB_REQUIRE(v < dimensions, "criterion variable out of range");
+    }
+  }
+}
+
+}  // namespace aedbmls::core

@@ -1,0 +1,46 @@
+#pragma once
+
+/// Sensitivity-guided search criteria (§IV-B of the paper).
+///
+/// A criterion names the subset of decision variables worth perturbing to
+/// improve a particular objective (or the constraint).  Each MLS iteration
+/// picks one criterion uniformly at random and applies the BLX-α step to
+/// exactly those variables.  The AEDB criteria come straight from the
+/// paper's Table I / §IV-B conclusions:
+///   C1 energy & forwardings -> { border_threshold, neighbors_threshold }
+///   C2 coverage             -> { neighbors_threshold }
+///   C3 broadcast time       -> { min_delay, max_delay }
+/// (margin_threshold showed "very few" influence anywhere and is perturbed
+/// by no criterion — exactly the paper's design.  The E9 ablation contrasts
+/// this with an unguided all-variables criterion.)
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace aedbmls::core {
+
+struct SearchCriterion {
+  std::string name;
+  std::vector<std::size_t> variables;  ///< decision-vector indices perturbed
+};
+
+/// The paper's three AEDB criteria (decision-vector order of AedbParams).
+[[nodiscard]] std::vector<SearchCriterion> aedb_criteria();
+
+/// Unguided fallback: one criterion touching every variable (used when the
+/// problem has no sensitivity analysis, and by the E9 ablation).
+[[nodiscard]] std::vector<SearchCriterion> all_variables_criterion(
+    std::size_t dimensions);
+
+/// One single-variable criterion per dimension (a second ablation point:
+/// guidance without grouping).
+[[nodiscard]] std::vector<SearchCriterion> per_variable_criteria(
+    std::size_t dimensions);
+
+/// Validates that every index is inside [0, dimensions) and that no
+/// criterion is empty.  Aborts on violation.
+void validate_criteria(const std::vector<SearchCriterion>& criteria,
+                       std::size_t dimensions);
+
+}  // namespace aedbmls::core

@@ -1,0 +1,33 @@
+#include "core/shared_population.hpp"
+
+#include "common/assert.hpp"
+
+namespace aedbmls::core {
+
+SharedPopulation::SharedPopulation(std::size_t size) : slots_(size) {
+  AEDB_REQUIRE(size >= 1, "population needs at least one slot");
+}
+
+void SharedPopulation::set(std::size_t slot, const moo::Solution& s) {
+  AEDB_REQUIRE(slot < slots_.size(), "slot out of range");
+  std::lock_guard lock(mutex_);
+  slots_[slot] = s;
+}
+
+moo::Solution SharedPopulation::get(std::size_t slot) const {
+  AEDB_REQUIRE(slot < slots_.size(), "slot out of range");
+  std::lock_guard lock(mutex_);
+  return slots_[slot];
+}
+
+moo::Solution SharedPopulation::random_other(std::size_t slot,
+                                             Xoshiro256& rng) const {
+  AEDB_REQUIRE(slot < slots_.size(), "slot out of range");
+  if (slots_.size() == 1) return get(slot);
+  std::size_t pick = rng.uniform_int(slots_.size() - 1);
+  if (pick >= slot) ++pick;
+  std::lock_guard lock(mutex_);
+  return slots_[pick];
+}
+
+}  // namespace aedbmls::core

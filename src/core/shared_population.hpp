@@ -1,0 +1,43 @@
+#pragma once
+
+/// Shared-memory population of one MLS island.
+///
+/// Every worker thread owns one slot (its current solution `s`) and reads
+/// teammates' slots to pick the reference solution `t` of the BLX step —
+/// the paper's "each local search procedure makes use of the other
+/// solutions in the same population in order to guide the search".
+/// A single mutex guards the slots: critical sections are plain copies of
+/// 5-variable solutions, so contention is negligible next to a simulation
+/// evaluation (measured in bench_micro_moo).
+
+#include <mutex>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "moo/core/solution.hpp"
+
+namespace aedbmls::core {
+
+class SharedPopulation {
+ public:
+  explicit SharedPopulation(std::size_t size);
+
+  /// Publishes `s` as the current solution of `slot`.
+  void set(std::size_t slot, const moo::Solution& s);
+
+  /// Copy of the current solution of `slot`.
+  [[nodiscard]] moo::Solution get(std::size_t slot) const;
+
+  /// Copy of a uniformly chosen slot other than `slot` (the teammate `t`).
+  /// With a single-slot population, returns that slot.
+  [[nodiscard]] moo::Solution random_other(std::size_t slot,
+                                           Xoshiro256& rng) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return slots_.size(); }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<moo::Solution> slots_;
+};
+
+}  // namespace aedbmls::core

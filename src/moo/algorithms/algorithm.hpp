@@ -1,0 +1,43 @@
+#pragma once
+
+/// Multi-objective algorithm interface + shared evaluation helpers.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "moo/core/problem.hpp"
+#include "moo/core/solution.hpp"
+#include "par/thread_pool.hpp"
+
+namespace aedbmls::moo {
+
+struct AlgorithmResult {
+  std::vector<Solution> front;   ///< final non-dominated set
+  std::size_t evaluations = 0;   ///< problem evaluations consumed
+  double wall_seconds = 0.0;     ///< wall-clock time of run()
+};
+
+class Algorithm {
+ public:
+  virtual ~Algorithm() = default;
+
+  /// Runs to completion.  Deterministic given (problem, seed) — up to
+  /// thread scheduling when a parallel evaluator is configured.
+  [[nodiscard]] virtual AlgorithmResult run(const Problem& problem,
+                                            std::uint64_t seed) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Evaluates every unevaluated solution in `batch`; uses `pool` when
+/// non-null (the paper ran its MOEAs serially — benches pass a pool only
+/// where EXPERIMENTS.md says so).
+void evaluate_batch(const Problem& problem, std::vector<Solution>& batch,
+                    par::ThreadPool* pool);
+
+/// Variable bounds of a problem as a vector (operator-friendly form).
+[[nodiscard]] std::vector<std::pair<double, double>> bounds_vector(
+    const Problem& problem);
+
+}  // namespace aedbmls::moo

@@ -1,0 +1,102 @@
+#include "moo/algorithms/cellde.hpp"
+
+#include <array>
+#include <chrono>
+
+#include "common/assert.hpp"
+#include "moo/core/crowding_archive.hpp"
+#include "moo/core/dominance.hpp"
+#include "moo/core/nds.hpp"
+
+namespace aedbmls::moo {
+
+AlgorithmResult CellDe::run(const Problem& problem, std::uint64_t seed) {
+  const auto start = std::chrono::steady_clock::now();
+  const std::size_t w = config_.grid_width;
+  const std::size_t h = config_.grid_height;
+  const std::size_t n = w * h;
+  AEDB_REQUIRE(n >= 9, "CellDE grid too small for an 8-neighbourhood");
+
+  Xoshiro256 rng(seed);
+  const auto bounds = bounds_vector(problem);
+  PolynomialMutationParams mutation = config_.mutation;
+  if (mutation.probability <= 0.0) {
+    mutation.probability = 1.0 / static_cast<double>(problem.dimensions());
+  }
+
+  std::vector<Solution> grid(n);
+  for (Solution& s : grid) s.x = problem.random_point(rng);
+  evaluate_batch(problem, grid, config_.evaluator);
+  std::size_t evaluations = n;
+
+  CrowdingArchive archive(config_.archive_capacity);
+  for (const Solution& s : grid) archive.try_insert(s);
+
+  // Toroidal 8-neighbourhood offsets.
+  constexpr std::array<std::pair<int, int>, 8> kOffsets{{{-1, -1},
+                                                         {-1, 0},
+                                                         {-1, 1},
+                                                         {0, -1},
+                                                         {0, 1},
+                                                         {1, -1},
+                                                         {1, 0},
+                                                         {1, 1}}};
+  auto neighbor_index = [&](std::size_t cell, std::size_t k) {
+    const auto row = static_cast<int>(cell / w);
+    const auto col = static_cast<int>(cell % w);
+    const int nr = (row + kOffsets[k].first + static_cast<int>(h)) % static_cast<int>(h);
+    const int nc = (col + kOffsets[k].second + static_cast<int>(w)) % static_cast<int>(w);
+    return static_cast<std::size_t>(nr) * w + static_cast<std::size_t>(nc);
+  };
+
+  while (evaluations < config_.max_evaluations) {
+    // Synchronous sweep: build all trials, evaluate as one batch.
+    std::vector<Solution> trials(n);
+    for (std::size_t cell = 0; cell < n; ++cell) {
+      // Three distinct neighbours r1, r2, r3 out of the 8 surrounding cells.
+      std::array<std::size_t, 3> picks{};
+      std::size_t chosen = 0;
+      while (chosen < 3) {
+        const std::size_t k = rng.uniform_int(kOffsets.size());
+        const std::size_t idx = neighbor_index(cell, k);
+        bool duplicate = false;
+        for (std::size_t j = 0; j < chosen; ++j) duplicate |= (picks[j] == idx);
+        if (!duplicate) picks[chosen++] = idx;
+      }
+      trials[cell].x =
+          de_rand_1_bin(grid[cell].x, grid[picks[2]].x, grid[picks[0]].x,
+                        grid[picks[1]].x, config_.de, bounds, rng);
+      polynomial_mutation(trials[cell].x, mutation, bounds, rng);
+    }
+    evaluate_batch(problem, trials, config_.evaluator);
+    evaluations += n;
+
+    // Replacement: trial wins when it dominates; on mutual non-dominance a
+    // fair coin decides (keeps drift without a neighbourhood ranking pass).
+    for (std::size_t cell = 0; cell < n; ++cell) {
+      const Dominance d = compare(trials[cell], grid[cell]);
+      const bool replace =
+          d == Dominance::kFirst || (d == Dominance::kNone && rng.bernoulli(0.5));
+      if (replace) grid[cell] = trials[cell];
+      archive.try_insert(trials[cell]);
+    }
+
+    // Feedback: pull archive elites back into random cells.
+    if (!archive.empty()) {
+      const std::size_t k = std::min(config_.feedback, n);
+      for (const Solution& elite : archive.sample(k, rng)) {
+        grid[rng.uniform_int(n)] = elite;
+      }
+    }
+  }
+
+  AlgorithmResult result;
+  result.front = archive.contents();
+  result.evaluations = evaluations;
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace aedbmls::moo

@@ -1,0 +1,50 @@
+#pragma once
+
+/// CellDE (Durillo, Nebro, Luna, Alba 2008): a cellular genetic algorithm
+/// whose variation operator is differential evolution — the second reference
+/// MOEA of the paper.
+///
+/// The population lives on a toroidal 2-D grid; each individual recombines
+/// only with its 8-neighbourhood (DE/rand/1/bin over three distinct
+/// neighbours).  Non-dominated discoveries feed a bounded crowding archive,
+/// and after every sweep a few random grid cells are re-seeded from the
+/// archive ("feedback").
+///
+/// Implementation note: the sweep is synchronous (all trials generated
+/// against the current generation, then replacements applied), which makes
+/// batch-parallel evaluation possible; jMetal's implementation is
+/// asynchronous.  At the paper's budgets the difference is within run-to-run
+/// noise (tests cover convergence on analytic problems).
+
+#include "moo/algorithms/algorithm.hpp"
+#include "moo/operators/de.hpp"
+#include "moo/operators/polynomial_mutation.hpp"
+
+namespace aedbmls::moo {
+
+class CellDe final : public Algorithm {
+ public:
+  struct Config {
+    std::size_t grid_width = 10;
+    std::size_t grid_height = 10;
+    std::size_t max_evaluations = 25000;
+    DeParams de{0.5, 0.9};
+    PolynomialMutationParams mutation{0.0, 20.0};  ///< probability 0 => 1/n
+    std::size_t archive_capacity = 100;
+    std::size_t feedback = 20;  ///< archive members re-injected per sweep
+    par::ThreadPool* evaluator = nullptr;
+  };
+
+  explicit CellDe(Config config) : config_(config) {}
+
+  [[nodiscard]] AlgorithmResult run(const Problem& problem,
+                                    std::uint64_t seed) override;
+  [[nodiscard]] std::string name() const override { return "CellDE"; }
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace aedbmls::moo

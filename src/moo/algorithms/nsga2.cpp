@@ -1,0 +1,121 @@
+#include "moo/algorithms/nsga2.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+
+#include "common/assert.hpp"
+#include "moo/core/nds.hpp"
+#include "moo/operators/selection.hpp"
+
+namespace aedbmls::moo {
+
+void evaluate_batch(const Problem& problem, std::vector<Solution>& batch,
+                    par::ThreadPool* pool) {
+  if (pool == nullptr) {
+    for (Solution& s : batch) {
+      if (!s.evaluated) problem.evaluate_into(s);
+    }
+    return;
+  }
+  std::vector<std::size_t> todo;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (!batch[i].evaluated) todo.push_back(i);
+  }
+  pool->parallel_for(todo.size(), [&](std::size_t k) {
+    problem.evaluate_into(batch[todo[k]]);
+  });
+}
+
+std::vector<std::pair<double, double>> bounds_vector(const Problem& problem) {
+  std::vector<std::pair<double, double>> bounds(problem.dimensions());
+  for (std::size_t d = 0; d < bounds.size(); ++d) bounds[d] = problem.bounds(d);
+  return bounds;
+}
+
+AlgorithmResult Nsga2::run(const Problem& problem, std::uint64_t seed) {
+  const auto start = std::chrono::steady_clock::now();
+  AEDB_REQUIRE(config_.population_size >= 4, "population too small");
+
+  Xoshiro256 rng(seed);
+  const auto bounds = bounds_vector(problem);
+  PolynomialMutationParams mutation = config_.mutation;
+  if (mutation.probability <= 0.0) {
+    mutation.probability = 1.0 / static_cast<double>(problem.dimensions());
+  }
+
+  // Initial population.
+  std::vector<Solution> population(config_.population_size);
+  for (Solution& s : population) s.x = problem.random_point(rng);
+  evaluate_batch(problem, population, config_.evaluator);
+  std::size_t evaluations = population.size();
+
+  while (evaluations < config_.max_evaluations) {
+    // Rank the parents for tournament selection.
+    const auto fronts = fast_non_dominated_sort(population);
+    const auto ranks = ranks_from_fronts(fronts, population.size());
+    std::vector<double> crowding(population.size(), 0.0);
+    for (const auto& front : fronts) {
+      const auto cd = crowding_distances(population, front);
+      for (std::size_t k = 0; k < front.size(); ++k) crowding[front[k]] = cd[k];
+    }
+
+    // Offspring via tournament + SBX + polynomial mutation.
+    std::vector<Solution> offspring;
+    offspring.reserve(config_.population_size);
+    while (offspring.size() < config_.population_size) {
+      const std::size_t p1 = tournament_select(ranks, crowding, rng);
+      const std::size_t p2 = tournament_select(ranks, crowding, rng);
+      auto [c1, c2] = sbx_crossover(population[p1].x, population[p2].x,
+                                    config_.sbx, bounds, rng);
+      polynomial_mutation(c1, mutation, bounds, rng);
+      polynomial_mutation(c2, mutation, bounds, rng);
+      Solution s1;
+      s1.x = std::move(c1);
+      offspring.push_back(std::move(s1));
+      if (offspring.size() < config_.population_size) {
+        Solution s2;
+        s2.x = std::move(c2);
+        offspring.push_back(std::move(s2));
+      }
+    }
+    evaluate_batch(problem, offspring, config_.evaluator);
+    evaluations += offspring.size();
+
+    // Environmental selection over the union.
+    std::vector<Solution> combined = std::move(population);
+    combined.insert(combined.end(), std::make_move_iterator(offspring.begin()),
+                    std::make_move_iterator(offspring.end()));
+    const auto combined_fronts = fast_non_dominated_sort(combined);
+    population.clear();
+    population.reserve(config_.population_size);
+    for (const auto& front : combined_fronts) {
+      if (population.size() + front.size() <= config_.population_size) {
+        for (const std::size_t i : front) population.push_back(combined[i]);
+      } else {
+        // Truncate the split front by descending crowding distance.
+        const auto cd = crowding_distances(combined, front);
+        std::vector<std::size_t> order(front.size());
+        std::iota(order.begin(), order.end(), 0);
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) { return cd[a] > cd[b]; });
+        for (const std::size_t k : order) {
+          if (population.size() >= config_.population_size) break;
+          population.push_back(combined[front[k]]);
+        }
+        break;
+      }
+      if (population.size() >= config_.population_size) break;
+    }
+  }
+
+  AlgorithmResult result;
+  result.front = non_dominated_subset(population);
+  result.evaluations = evaluations;
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace aedbmls::moo

@@ -1,0 +1,36 @@
+#pragma once
+
+/// NSGA-II (Deb, Pratap, Agarwal, Meyarivan 2002) with Deb's
+/// constraint-domination — one of the two reference MOEAs the paper
+/// compares AEDB-MLS against (configuration follows Ruiz et al. 2012:
+/// SBX + polynomial mutation, binary tournament on rank/crowding).
+
+#include "moo/algorithms/algorithm.hpp"
+#include "moo/operators/polynomial_mutation.hpp"
+#include "moo/operators/sbx.hpp"
+
+namespace aedbmls::moo {
+
+class Nsga2 final : public Algorithm {
+ public:
+  struct Config {
+    std::size_t population_size = 100;
+    std::size_t max_evaluations = 25000;
+    SbxParams sbx{};                       ///< pc=0.9, eta_c=20
+    PolynomialMutationParams mutation{0.0, 20.0};  ///< probability 0 => 1/n
+    par::ThreadPool* evaluator = nullptr;  ///< optional parallel evaluation
+  };
+
+  explicit Nsga2(Config config) : config_(config) {}
+
+  [[nodiscard]] AlgorithmResult run(const Problem& problem,
+                                    std::uint64_t seed) override;
+  [[nodiscard]] std::string name() const override { return "NSGAII"; }
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace aedbmls::moo

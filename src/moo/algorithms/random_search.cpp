@@ -1,0 +1,34 @@
+#include "moo/algorithms/random_search.hpp"
+
+#include <chrono>
+
+#include "moo/core/crowding_archive.hpp"
+
+namespace aedbmls::moo {
+
+AlgorithmResult RandomSearch::run(const Problem& problem, std::uint64_t seed) {
+  const auto start = std::chrono::steady_clock::now();
+  Xoshiro256 rng(seed);
+  CrowdingArchive archive(config_.archive_capacity);
+
+  std::size_t evaluations = 0;
+  while (evaluations < config_.max_evaluations) {
+    const std::size_t count =
+        std::min(config_.batch, config_.max_evaluations - evaluations);
+    std::vector<Solution> batch(count);
+    for (Solution& s : batch) s.x = problem.random_point(rng);
+    evaluate_batch(problem, batch, config_.evaluator);
+    evaluations += count;
+    for (const Solution& s : batch) archive.try_insert(s);
+  }
+
+  AlgorithmResult result;
+  result.front = archive.contents();
+  result.evaluations = evaluations;
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace aedbmls::moo

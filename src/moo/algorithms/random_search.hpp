@@ -1,0 +1,29 @@
+#pragma once
+
+/// Uniform random search with a bounded archive: the sanity baseline every
+/// metaheuristic must beat (used in tests and as a floor in the benches).
+
+#include "moo/algorithms/algorithm.hpp"
+
+namespace aedbmls::moo {
+
+class RandomSearch final : public Algorithm {
+ public:
+  struct Config {
+    std::size_t max_evaluations = 1000;
+    std::size_t archive_capacity = 100;
+    std::size_t batch = 50;                ///< evaluation batch size
+    par::ThreadPool* evaluator = nullptr;
+  };
+
+  explicit RandomSearch(Config config) : config_(config) {}
+
+  [[nodiscard]] AlgorithmResult run(const Problem& problem,
+                                    std::uint64_t seed) override;
+  [[nodiscard]] std::string name() const override { return "RandomSearch"; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace aedbmls::moo

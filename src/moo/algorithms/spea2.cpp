@@ -1,0 +1,165 @@
+#include "moo/algorithms/spea2.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/assert.hpp"
+#include "common/math_utils.hpp"
+#include "moo/core/dominance.hpp"
+#include "moo/core/nds.hpp"
+
+namespace aedbmls::moo {
+namespace {
+
+/// SPEA2 fitness: strength-based raw fitness + kNN density (lower better).
+std::vector<double> spea2_fitness(const std::vector<Solution>& pool) {
+  const std::size_t n = pool.size();
+  // Strength S(i) = number of solutions i dominates.
+  std::vector<double> strength(n, 0.0);
+  std::vector<std::vector<std::size_t>> dominators(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (dominates(pool[i], pool[j])) {
+        strength[i] += 1.0;
+        dominators[j].push_back(i);
+      }
+    }
+  }
+  // Raw fitness R(i) = sum of strengths of i's dominators.
+  std::vector<double> fitness(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const std::size_t d : dominators[i]) fitness[i] += strength[d];
+  }
+  // Density D(i) = 1 / (dist to k-th neighbour + 2), k = sqrt(n).
+  const auto k = static_cast<std::size_t>(std::sqrt(static_cast<double>(n)));
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> distances;
+    distances.reserve(n - 1);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) {
+        distances.push_back(
+            squared_distance(pool[i].objectives, pool[j].objectives));
+      }
+    }
+    std::nth_element(distances.begin(),
+                     distances.begin() + static_cast<std::ptrdiff_t>(
+                                             std::min(k, distances.size() - 1)),
+                     distances.end());
+    const double kth = std::sqrt(
+        distances[std::min(k, distances.size() - 1)]);
+    fitness[i] += 1.0 / (kth + 2.0);
+  }
+  return fitness;
+}
+
+/// Archive truncation: repeatedly drop the member with the smallest
+/// nearest-neighbour distance (ties broken by the next distances).
+void truncate(std::vector<Solution>& archive, std::size_t target) {
+  while (archive.size() > target) {
+    const std::size_t n = archive.size();
+    double min_distance = std::numeric_limits<double>::infinity();
+    std::size_t victim = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double nearest = std::numeric_limits<double>::infinity();
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i != j) {
+          nearest = std::min(nearest, squared_distance(archive[i].objectives,
+                                                       archive[j].objectives));
+        }
+      }
+      if (nearest < min_distance) {
+        min_distance = nearest;
+        victim = i;
+      }
+    }
+    archive.erase(archive.begin() + static_cast<std::ptrdiff_t>(victim));
+  }
+}
+
+}  // namespace
+
+AlgorithmResult Spea2::run(const Problem& problem, std::uint64_t seed) {
+  const auto start = std::chrono::steady_clock::now();
+  AEDB_REQUIRE(config_.population_size >= 4, "population too small");
+  AEDB_REQUIRE(config_.archive_size >= 4, "archive too small");
+
+  Xoshiro256 rng(seed);
+  const auto bounds = bounds_vector(problem);
+  PolynomialMutationParams mutation = config_.mutation;
+  if (mutation.probability <= 0.0) {
+    mutation.probability = 1.0 / static_cast<double>(problem.dimensions());
+  }
+
+  std::vector<Solution> population(config_.population_size);
+  for (Solution& s : population) s.x = problem.random_point(rng);
+  evaluate_batch(problem, population, config_.evaluator);
+  std::size_t evaluations = population.size();
+  std::vector<Solution> archive;
+
+  while (true) {
+    // Fitness over population + archive; next archive = the non-dominated
+    // members (by fitness < 1), truncated or back-filled to archive_size.
+    std::vector<Solution> pool = population;
+    pool.insert(pool.end(), archive.begin(), archive.end());
+    const std::vector<double> fitness = spea2_fitness(pool);
+
+    std::vector<Solution> next_archive;
+    std::vector<std::size_t> dominated_order(pool.size());
+    std::iota(dominated_order.begin(), dominated_order.end(), 0);
+    std::sort(dominated_order.begin(), dominated_order.end(),
+              [&](std::size_t a, std::size_t b) { return fitness[a] < fitness[b]; });
+    for (const std::size_t i : dominated_order) {
+      if (fitness[i] < 1.0) next_archive.push_back(pool[i]);
+    }
+    if (next_archive.size() > config_.archive_size) {
+      truncate(next_archive, config_.archive_size);
+    } else {
+      for (const std::size_t i : dominated_order) {
+        if (next_archive.size() >= config_.archive_size) break;
+        if (fitness[i] >= 1.0) next_archive.push_back(pool[i]);
+      }
+    }
+    archive = std::move(next_archive);
+    if (evaluations >= config_.max_evaluations) break;
+
+    // Mating selection: binary tournaments on fitness over the archive.
+    std::vector<Solution> offspring;
+    offspring.reserve(config_.population_size);
+    const std::vector<double> archive_fitness = spea2_fitness(archive);
+    auto pick = [&]() -> const Solution& {
+      const std::size_t a = rng.uniform_int(archive.size());
+      const std::size_t b = rng.uniform_int(archive.size());
+      return archive_fitness[a] <= archive_fitness[b] ? archive[a] : archive[b];
+    };
+    while (offspring.size() < config_.population_size) {
+      auto [c1, c2] = sbx_crossover(pick().x, pick().x, config_.sbx, bounds, rng);
+      polynomial_mutation(c1, mutation, bounds, rng);
+      Solution s1;
+      s1.x = std::move(c1);
+      offspring.push_back(std::move(s1));
+      if (offspring.size() < config_.population_size) {
+        polynomial_mutation(c2, mutation, bounds, rng);
+        Solution s2;
+        s2.x = std::move(c2);
+        offspring.push_back(std::move(s2));
+      }
+    }
+    evaluate_batch(problem, offspring, config_.evaluator);
+    evaluations += offspring.size();
+    population = std::move(offspring);
+  }
+
+  AlgorithmResult result;
+  result.front = non_dominated_subset(archive);
+  result.evaluations = evaluations;
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace aedbmls::moo

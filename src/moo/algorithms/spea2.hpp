@@ -1,0 +1,38 @@
+#pragma once
+
+/// SPEA2 (Zitzler, Laumanns, Thiele 2001): strength-Pareto evolutionary
+/// algorithm with k-th-nearest-neighbour density and archive truncation.
+///
+/// Not part of the paper's comparison — provided as a third reference MOEA
+/// so downstream studies can rank AEDB-MLS against a broader field (and as
+/// another consumer of the operator/indicator toolkit).  Uses the same
+/// constraint-domination as the rest of the library.
+
+#include "moo/algorithms/algorithm.hpp"
+#include "moo/operators/polynomial_mutation.hpp"
+#include "moo/operators/sbx.hpp"
+
+namespace aedbmls::moo {
+
+class Spea2 final : public Algorithm {
+ public:
+  struct Config {
+    std::size_t population_size = 100;
+    std::size_t archive_size = 100;
+    std::size_t max_evaluations = 25000;
+    SbxParams sbx{};
+    PolynomialMutationParams mutation{0.0, 20.0};  ///< probability 0 => 1/n
+    par::ThreadPool* evaluator = nullptr;
+  };
+
+  explicit Spea2(Config config) : config_(config) {}
+
+  [[nodiscard]] AlgorithmResult run(const Problem& problem,
+                                    std::uint64_t seed) override;
+  [[nodiscard]] std::string name() const override { return "SPEA2"; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace aedbmls::moo

@@ -1,0 +1,60 @@
+#include "moo/analysis/knee.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/assert.hpp"
+#include "common/math_utils.hpp"
+#include "moo/core/normalization.hpp"
+
+namespace aedbmls::moo {
+
+std::size_t closest_to_ideal(const std::vector<Solution>& front) {
+  AEDB_REQUIRE(!front.empty(), "empty front");
+  const ObjectiveBounds bounds = bounds_of(front);
+  const std::vector<double> ideal(front.front().objectives.size(), 0.0);
+  std::size_t best = 0;
+  double best_distance = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < front.size(); ++i) {
+    const auto p = normalize_point(front[i].objectives, bounds);
+    const double d = squared_distance(p, ideal);
+    if (d < best_distance) {
+      best_distance = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::size_t knee_point(const std::vector<Solution>& front) {
+  AEDB_REQUIRE(!front.empty(), "empty front");
+  const std::size_t m = front.front().objectives.size();
+  if (front.size() < m + 1) return closest_to_ideal(front);
+
+  const ObjectiveBounds bounds = bounds_of(front);
+
+  // In normalised space the objective-wise extremes sit near the unit axes;
+  // the hyperplane sum(f) = 1 through them separates "knee" solutions
+  // (below the plane) from shallow trade-offs.  Signed distance below the
+  // plane = (1 - sum(f)) / sqrt(m).
+  std::size_t best = 0;
+  double best_distance = -std::numeric_limits<double>::infinity();
+  bool any_below = false;
+  for (std::size_t i = 0; i < front.size(); ++i) {
+    const auto p = normalize_point(front[i].objectives, bounds);
+    double sum = 0.0;
+    for (const double v : p) sum += v;
+    const double distance = (1.0 - sum) / std::sqrt(static_cast<double>(m));
+    if (distance > best_distance) {
+      best_distance = distance;
+      best = i;
+    }
+    if (distance > 0.0) any_below = true;
+  }
+  // A fully convex-degenerate (e.g. linear) front has no point below the
+  // plane by more than numerical noise; fall back to the compromise point.
+  if (!any_below) return closest_to_ideal(front);
+  return best;
+}
+
+}  // namespace aedbmls::moo

@@ -1,0 +1,29 @@
+#pragma once
+
+/// Decision-making helpers: picking configurations from a Pareto front.
+///
+/// Tuning produces a whole front; a deployment needs one configuration.
+/// Two standard selectors are provided (both operate on normalised
+/// objectives so scales don't bias the choice):
+///   * `knee_point` — the solution with the largest perpendicular distance
+///     below the hyperplane through the objective-wise extremes (the
+///     "biggest bargain" trade-off; Branke et al. 2004 flavour);
+///   * `closest_to_ideal` — minimal Euclidean distance to the per-objective
+///     minima (the compromise solution of classic MCDM).
+
+#include <cstddef>
+#include <vector>
+
+#include "moo/core/solution.hpp"
+
+namespace aedbmls::moo {
+
+/// Index of the knee solution of `front` (>= 1 point; all minimised).
+/// For degenerate fronts (collinear normals, single point) falls back to
+/// `closest_to_ideal`.
+[[nodiscard]] std::size_t knee_point(const std::vector<Solution>& front);
+
+/// Index of the solution nearest to the normalised ideal point.
+[[nodiscard]] std::size_t closest_to_ideal(const std::vector<Solution>& front);
+
+}  // namespace aedbmls::moo

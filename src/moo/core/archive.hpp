@@ -1,0 +1,41 @@
+#pragma once
+
+/// Bounded non-dominated archive interface.
+///
+/// `try_insert` contract (shared by all implementations):
+///  * a candidate dominated by (or duplicating) a member is rejected;
+///  * members dominated by the candidate are removed;
+///  * when the archive is full, the implementation's density policy decides
+///    whether the candidate replaces a member of a crowded region.
+/// Returns true iff the candidate was added.
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "moo/core/solution.hpp"
+
+namespace aedbmls::moo {
+
+class Archive {
+ public:
+  virtual ~Archive() = default;
+
+  /// Offers a solution; see contract above.
+  virtual bool try_insert(const Solution& candidate) = 0;
+
+  /// Current members (mutually non-dominated).
+  [[nodiscard]] virtual const std::vector<Solution>& contents() const = 0;
+
+  /// Maximum size (0 = unbounded).
+  [[nodiscard]] virtual std::size_t capacity() const = 0;
+
+  [[nodiscard]] std::size_t size() const { return contents().size(); }
+  [[nodiscard]] bool empty() const { return contents().empty(); }
+
+  /// `count` members sampled uniformly with replacement (the MLS
+  /// re-initialisation primitive).  Archive must be non-empty.
+  [[nodiscard]] std::vector<Solution> sample(std::size_t count,
+                                             Xoshiro256& rng) const;
+};
+
+}  // namespace aedbmls::moo

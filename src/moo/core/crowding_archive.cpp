@@ -1,0 +1,43 @@
+#include "moo/core/crowding_archive.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/assert.hpp"
+#include "moo/core/dominance.hpp"
+#include "moo/core/nds.hpp"
+
+namespace aedbmls::moo {
+
+CrowdingArchive::CrowdingArchive(std::size_t capacity) : capacity_(capacity) {
+  AEDB_REQUIRE(capacity_ > 0, "crowding archive needs capacity > 0");
+  members_.reserve(capacity_ + 1);
+}
+
+bool CrowdingArchive::try_insert(const Solution& candidate) {
+  AEDB_REQUIRE(candidate.evaluated, "inserting unevaluated solution");
+  for (const Solution& member : members_) {
+    const Dominance d = compare(member, candidate);
+    if (d == Dominance::kFirst) return false;
+    if (d == Dominance::kNone && member.objectives == candidate.objectives &&
+        member.constraint_violation == candidate.constraint_violation) {
+      return false;
+    }
+  }
+  std::erase_if(members_,
+                [&](const Solution& member) { return dominates(candidate, member); });
+  members_.push_back(candidate);
+  if (members_.size() <= capacity_) return true;
+
+  // Over capacity: drop the most crowded member (smallest crowding distance).
+  std::vector<std::size_t> front(members_.size());
+  std::iota(front.begin(), front.end(), 0);
+  const std::vector<double> crowding = crowding_distances(members_, front);
+  const std::size_t worst = static_cast<std::size_t>(
+      std::min_element(crowding.begin(), crowding.end()) - crowding.begin());
+  const bool accepted = worst != members_.size() - 1;
+  members_.erase(members_.begin() + static_cast<std::ptrdiff_t>(worst));
+  return accepted;
+}
+
+}  // namespace aedbmls::moo

@@ -1,0 +1,25 @@
+#pragma once
+
+/// Bounded archive pruned by crowding distance (the archive CellDE/MOCell
+/// use, and the AGA alternative in the archive ablation E10).
+
+#include "moo/core/archive.hpp"
+
+namespace aedbmls::moo {
+
+class CrowdingArchive final : public Archive {
+ public:
+  explicit CrowdingArchive(std::size_t capacity);
+
+  bool try_insert(const Solution& candidate) override;
+  [[nodiscard]] const std::vector<Solution>& contents() const override {
+    return members_;
+  }
+  [[nodiscard]] std::size_t capacity() const override { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::vector<Solution> members_;
+};
+
+}  // namespace aedbmls::moo

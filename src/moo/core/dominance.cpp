@@ -1,0 +1,36 @@
+#include "moo/core/dominance.hpp"
+
+#include "common/assert.hpp"
+
+namespace aedbmls::moo {
+
+Dominance compare_objectives(const std::vector<double>& a,
+                             const std::vector<double>& b) {
+  AEDB_REQUIRE(a.size() == b.size(), "objective count mismatch");
+  bool a_better = false;
+  bool b_better = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < b[i]) a_better = true;
+    else if (b[i] < a[i]) b_better = true;
+    if (a_better && b_better) return Dominance::kNone;
+  }
+  if (a_better) return Dominance::kFirst;
+  if (b_better) return Dominance::kSecond;
+  return Dominance::kNone;  // identical vectors
+}
+
+Dominance compare(const Solution& a, const Solution& b) {
+  AEDB_REQUIRE(a.evaluated && b.evaluated, "comparing unevaluated solutions");
+  const bool fa = a.feasible();
+  const bool fb = b.feasible();
+  if (fa && !fb) return Dominance::kFirst;
+  if (fb && !fa) return Dominance::kSecond;
+  if (!fa && !fb) {
+    if (a.constraint_violation < b.constraint_violation) return Dominance::kFirst;
+    if (b.constraint_violation < a.constraint_violation) return Dominance::kSecond;
+    return Dominance::kNone;
+  }
+  return compare_objectives(a.objectives, b.objectives);
+}
+
+}  // namespace aedbmls::moo

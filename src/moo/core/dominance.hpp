@@ -1,0 +1,30 @@
+#pragma once
+
+/// Pareto dominance with Deb's constraint-domination rules:
+///  1. feasible dominates infeasible;
+///  2. between infeasibles, smaller violation dominates;
+///  3. between feasibles, standard Pareto dominance on the objectives.
+
+#include "moo/core/solution.hpp"
+
+namespace aedbmls::moo {
+
+enum class Dominance {
+  kFirst,   ///< a dominates b
+  kSecond,  ///< b dominates a
+  kNone,    ///< mutually non-dominated (or equal)
+};
+
+/// Pure Pareto comparison of two minimised objective vectors (equal sizes).
+[[nodiscard]] Dominance compare_objectives(const std::vector<double>& a,
+                                           const std::vector<double>& b);
+
+/// Constraint-domination comparison of two evaluated solutions.
+[[nodiscard]] Dominance compare(const Solution& a, const Solution& b);
+
+/// True iff `a` constraint-dominates `b`.
+[[nodiscard]] inline bool dominates(const Solution& a, const Solution& b) {
+  return compare(a, b) == Dominance::kFirst;
+}
+
+}  // namespace aedbmls::moo

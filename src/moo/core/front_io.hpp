@@ -1,0 +1,24 @@
+#pragma once
+
+/// Pareto-front persistence and merging.
+
+#include <string>
+#include <vector>
+
+#include "moo/core/solution.hpp"
+
+namespace aedbmls::moo {
+
+/// Serialises a front as CSV: x0..x{d-1}, f0..f{m-1}, cv.
+[[nodiscard]] std::string front_to_csv(const std::vector<Solution>& front);
+
+/// Parses the CSV produced by `front_to_csv` (dims/objs inferred from the
+/// header).  Throws std::runtime_error on malformed input.
+[[nodiscard]] std::vector<Solution> front_from_csv(const std::string& csv);
+
+/// Merges several fronts into their combined non-dominated set — the paper's
+/// "Reference Pareto front" construction (best of all runs/algorithms).
+[[nodiscard]] std::vector<Solution> merge_fronts(
+    const std::vector<std::vector<Solution>>& fronts);
+
+}  // namespace aedbmls::moo

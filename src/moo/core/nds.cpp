@@ -1,0 +1,114 @@
+#include "moo/core/nds.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/assert.hpp"
+#include "moo/core/dominance.hpp"
+
+namespace aedbmls::moo {
+
+std::vector<std::vector<std::size_t>> fast_non_dominated_sort(
+    const std::vector<Solution>& population) {
+  const std::size_t n = population.size();
+  std::vector<std::vector<std::size_t>> dominated_by(n);
+  std::vector<std::size_t> domination_count(n, 0);
+  std::vector<std::vector<std::size_t>> fronts;
+
+  std::vector<std::size_t> current;
+  for (std::size_t p = 0; p < n; ++p) {
+    for (std::size_t q = p + 1; q < n; ++q) {
+      switch (compare(population[p], population[q])) {
+        case Dominance::kFirst:
+          dominated_by[p].push_back(q);
+          ++domination_count[q];
+          break;
+        case Dominance::kSecond:
+          dominated_by[q].push_back(p);
+          ++domination_count[p];
+          break;
+        case Dominance::kNone:
+          break;
+      }
+    }
+    if (domination_count[p] == 0) current.push_back(p);
+  }
+
+  // domination_count[p] may be incremented after p was provisionally added,
+  // so rebuild the first front now that all pairs were compared.
+  current.clear();
+  for (std::size_t p = 0; p < n; ++p) {
+    if (domination_count[p] == 0) current.push_back(p);
+  }
+
+  while (!current.empty()) {
+    fronts.push_back(current);
+    std::vector<std::size_t> next;
+    for (const std::size_t p : current) {
+      for (const std::size_t q : dominated_by[p]) {
+        if (--domination_count[q] == 0) next.push_back(q);
+      }
+    }
+    current = std::move(next);
+  }
+  return fronts;
+}
+
+std::vector<std::size_t> ranks_from_fronts(
+    const std::vector<std::vector<std::size_t>>& fronts, std::size_t n) {
+  std::vector<std::size_t> ranks(n, 0);
+  for (std::size_t f = 0; f < fronts.size(); ++f) {
+    for (const std::size_t i : fronts[f]) ranks[i] = f;
+  }
+  return ranks;
+}
+
+std::vector<double> crowding_distances(const std::vector<Solution>& population,
+                                       const std::vector<std::size_t>& front) {
+  const std::size_t n = front.size();
+  std::vector<double> distance(n, 0.0);
+  if (n == 0) return distance;
+  if (n <= 2) {
+    std::fill(distance.begin(), distance.end(),
+              std::numeric_limits<double>::infinity());
+    return distance;
+  }
+  const std::size_t m = population[front[0]].objectives.size();
+  std::vector<std::size_t> order(n);
+  for (std::size_t obj = 0; obj < m; ++obj) {
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return population[front[a]].objectives[obj] <
+             population[front[b]].objectives[obj];
+    });
+    const double lo = population[front[order.front()]].objectives[obj];
+    const double hi = population[front[order.back()]].objectives[obj];
+    distance[order.front()] = std::numeric_limits<double>::infinity();
+    distance[order.back()] = std::numeric_limits<double>::infinity();
+    const double span = hi - lo;
+    if (span <= 0.0) continue;
+    for (std::size_t k = 1; k + 1 < n; ++k) {
+      const double prev = population[front[order[k - 1]]].objectives[obj];
+      const double next = population[front[order[k + 1]]].objectives[obj];
+      distance[order[k]] += (next - prev) / span;
+    }
+  }
+  return distance;
+}
+
+std::vector<Solution> non_dominated_subset(const std::vector<Solution>& population) {
+  std::vector<Solution> out;
+  for (std::size_t p = 0; p < population.size(); ++p) {
+    bool dominated = false;
+    for (std::size_t q = 0; q < population.size() && !dominated; ++q) {
+      if (q != p && compare(population[q], population[p]) == Dominance::kFirst) {
+        dominated = true;
+      }
+    }
+    if (!dominated) out.push_back(population[p]);
+  }
+  return out;
+}
+
+}  // namespace aedbmls::moo

@@ -1,0 +1,33 @@
+#pragma once
+
+/// Fast non-dominated sorting and crowding distance (Deb et al. 2002),
+/// the environmental-selection machinery of NSGA-II and the ranking used by
+/// tournament selection.
+
+#include <cstddef>
+#include <vector>
+
+#include "moo/core/solution.hpp"
+
+namespace aedbmls::moo {
+
+/// Partitions `population` into fronts of indices; fronts[0] is the
+/// non-dominated set.  Uses constraint-domination.  O(m*n^2).
+[[nodiscard]] std::vector<std::vector<std::size_t>> fast_non_dominated_sort(
+    const std::vector<Solution>& population);
+
+/// Rank (front index) per solution, aligned with `population`.
+[[nodiscard]] std::vector<std::size_t> ranks_from_fronts(
+    const std::vector<std::vector<std::size_t>>& fronts, std::size_t n);
+
+/// Crowding distance of the members of `front` (indices into `population`),
+/// returned aligned with `front`.  Boundary solutions get +infinity.
+[[nodiscard]] std::vector<double> crowding_distances(
+    const std::vector<Solution>& population, const std::vector<std::size_t>& front);
+
+/// The non-dominated subset of `population` (constraint-domination),
+/// duplicates in objective space preserved.
+[[nodiscard]] std::vector<Solution> non_dominated_subset(
+    const std::vector<Solution>& population);
+
+}  // namespace aedbmls::moo

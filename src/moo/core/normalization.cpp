@@ -1,0 +1,47 @@
+#include "moo/core/normalization.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace aedbmls::moo {
+
+ObjectiveBounds bounds_of(const std::vector<Solution>& front) {
+  AEDB_REQUIRE(!front.empty(), "bounds of empty front");
+  const std::size_t m = front.front().objectives.size();
+  ObjectiveBounds bounds;
+  bounds.lo.assign(m, 0.0);
+  bounds.hi.assign(m, 0.0);
+  for (std::size_t obj = 0; obj < m; ++obj) {
+    double lo = front.front().objectives[obj];
+    double hi = lo;
+    for (const Solution& s : front) {
+      lo = std::min(lo, s.objectives[obj]);
+      hi = std::max(hi, s.objectives[obj]);
+    }
+    bounds.lo[obj] = lo;
+    bounds.hi[obj] = hi;
+  }
+  return bounds;
+}
+
+std::vector<double> normalize_point(const std::vector<double>& objectives,
+                                    const ObjectiveBounds& bounds) {
+  AEDB_REQUIRE(objectives.size() == bounds.objective_count(),
+               "objective count mismatch in normalize");
+  std::vector<double> out(objectives.size());
+  for (std::size_t obj = 0; obj < objectives.size(); ++obj) {
+    const double span = bounds.hi[obj] - bounds.lo[obj];
+    out[obj] = span > 0.0 ? (objectives[obj] - bounds.lo[obj]) / span : 0.0;
+  }
+  return out;
+}
+
+std::vector<Solution> normalize_front(const std::vector<Solution>& front,
+                                      const ObjectiveBounds& bounds) {
+  std::vector<Solution> out = front;
+  for (Solution& s : out) s.objectives = normalize_point(s.objectives, bounds);
+  return out;
+}
+
+}  // namespace aedbmls::moo

@@ -1,0 +1,36 @@
+#pragma once
+
+/// Front normalisation for the quality indicators.
+///
+/// The paper: "all fronts were normalised because these indicators are not
+/// free from arbitrary scaling of the objectives", using the combined best
+/// front of all algorithms as the reference.  `ObjectiveBounds` captures the
+/// per-objective [min,max] of a reference front; `normalize` maps objective
+/// vectors into [0,1]^m under those bounds.
+
+#include <vector>
+
+#include "moo/core/solution.hpp"
+
+namespace aedbmls::moo {
+
+struct ObjectiveBounds {
+  std::vector<double> lo;
+  std::vector<double> hi;
+
+  [[nodiscard]] std::size_t objective_count() const noexcept { return lo.size(); }
+};
+
+/// Bounds spanned by `front` (must be non-empty).
+[[nodiscard]] ObjectiveBounds bounds_of(const std::vector<Solution>& front);
+
+/// Maps one objective vector into [0,1]^m (values outside the reference
+/// bounds extrapolate beyond [0,1]; degenerate spans map to 0).
+[[nodiscard]] std::vector<double> normalize_point(const std::vector<double>& objectives,
+                                                  const ObjectiveBounds& bounds);
+
+/// Normalises a whole front (copies; decision vectors preserved).
+[[nodiscard]] std::vector<Solution> normalize_front(const std::vector<Solution>& front,
+                                                    const ObjectiveBounds& bounds);
+
+}  // namespace aedbmls::moo

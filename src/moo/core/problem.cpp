@@ -1,0 +1,35 @@
+#include "moo/core/problem.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace aedbmls::moo {
+
+std::vector<double> Problem::random_point(Xoshiro256& rng) const {
+  std::vector<double> x(dimensions());
+  for (std::size_t d = 0; d < x.size(); ++d) {
+    const auto [lo, hi] = bounds(d);
+    x[d] = rng.uniform(lo, hi);
+  }
+  return x;
+}
+
+void Problem::clamp(std::vector<double>& x) const {
+  AEDB_REQUIRE(x.size() == dimensions(), "dimension mismatch in clamp");
+  for (std::size_t d = 0; d < x.size(); ++d) {
+    const auto [lo, hi] = bounds(d);
+    x[d] = std::clamp(x[d], lo, hi);
+  }
+}
+
+void Problem::evaluate_into(Solution& s) const {
+  Result r = evaluate(s.x);
+  AEDB_REQUIRE(r.objectives.size() == objective_count(),
+               "problem returned wrong objective count");
+  s.objectives = std::move(r.objectives);
+  s.constraint_violation = r.constraint_violation;
+  s.evaluated = true;
+}
+
+}  // namespace aedbmls::moo

@@ -1,0 +1,54 @@
+#pragma once
+
+/// Problem interface of the optimiser.
+///
+/// `evaluate` must be `const` and thread-safe: AEDB-MLS calls it from many
+/// worker threads concurrently (96 in the paper's setup).  Expensive state
+/// (e.g. simulators) must live on the evaluating thread's stack.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "moo/core/solution.hpp"
+
+namespace aedbmls::moo {
+
+class Problem {
+ public:
+  virtual ~Problem() = default;
+
+  /// Number of decision variables.
+  [[nodiscard]] virtual std::size_t dimensions() const = 0;
+
+  /// Number of (minimised) objectives.
+  [[nodiscard]] virtual std::size_t objective_count() const = 0;
+
+  /// Inclusive [lower, upper] bound of variable `dim`.
+  [[nodiscard]] virtual std::pair<double, double> bounds(std::size_t dim) const = 0;
+
+  struct Result {
+    std::vector<double> objectives;
+    double constraint_violation = 0.0;
+  };
+
+  /// Evaluates a decision vector.  Thread-safe.
+  [[nodiscard]] virtual Result evaluate(const std::vector<double>& x) const = 0;
+
+  /// Display name for tables.
+  [[nodiscard]] virtual std::string name() const { return "problem"; }
+
+  // ---- convenience helpers (non-virtual) ----
+
+  /// Uniform random point inside the box constraints.
+  [[nodiscard]] std::vector<double> random_point(Xoshiro256& rng) const;
+
+  /// Clamps `x` into the box constraints, in place.
+  void clamp(std::vector<double>& x) const;
+
+  /// Evaluates `s.x` and fills objectives/violation.
+  void evaluate_into(Solution& s) const;
+};
+
+}  // namespace aedbmls::moo

@@ -1,0 +1,26 @@
+#pragma once
+
+/// A candidate solution of a multi-objective problem.
+///
+/// Convention: **all objectives are minimised** internally.  Problems with
+/// maximisation objectives (AEDB's coverage) negate them in `evaluate` and
+/// the reporting layer negates back.  `constraint_violation` is an
+/// aggregated non-negative amount: 0 means feasible (Deb's
+/// constraint-domination uses the magnitude).
+
+#include <vector>
+
+namespace aedbmls::moo {
+
+struct Solution {
+  std::vector<double> x;            ///< decision variables
+  std::vector<double> objectives;   ///< minimised objective values
+  double constraint_violation = 0.0;
+  bool evaluated = false;
+
+  [[nodiscard]] bool feasible() const noexcept {
+    return constraint_violation <= 0.0;
+  }
+};
+
+}  // namespace aedbmls::moo

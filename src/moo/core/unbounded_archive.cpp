@@ -1,0 +1,26 @@
+#include "moo/core/unbounded_archive.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "moo/core/dominance.hpp"
+
+namespace aedbmls::moo {
+
+bool UnboundedArchive::try_insert(const Solution& candidate) {
+  AEDB_REQUIRE(candidate.evaluated, "inserting unevaluated solution");
+  for (const Solution& member : members_) {
+    const Dominance d = compare(member, candidate);
+    if (d == Dominance::kFirst) return false;
+    if (d == Dominance::kNone && member.objectives == candidate.objectives &&
+        member.constraint_violation == candidate.constraint_violation) {
+      return false;
+    }
+  }
+  std::erase_if(members_,
+                [&](const Solution& member) { return dominates(candidate, member); });
+  members_.push_back(candidate);
+  return true;
+}
+
+}  // namespace aedbmls::moo

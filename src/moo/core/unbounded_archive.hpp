@@ -1,0 +1,25 @@
+#pragma once
+
+/// Unbounded non-dominated archive: keeps everything non-dominated.
+/// Used to build reference fronts and in the archive ablation (E10);
+/// memory grows with the front size.
+
+#include "moo/core/archive.hpp"
+
+namespace aedbmls::moo {
+
+class UnboundedArchive final : public Archive {
+ public:
+  UnboundedArchive() = default;
+
+  bool try_insert(const Solution& candidate) override;
+  [[nodiscard]] const std::vector<Solution>& contents() const override {
+    return members_;
+  }
+  [[nodiscard]] std::size_t capacity() const override { return 0; }
+
+ private:
+  std::vector<Solution> members_;
+};
+
+}  // namespace aedbmls::moo

@@ -1,0 +1,29 @@
+#include "moo/indicators/epsilon.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace aedbmls::moo {
+
+double additive_epsilon(const std::vector<Solution>& front,
+                        const std::vector<Solution>& reference) {
+  AEDB_REQUIRE(!front.empty() && !reference.empty(), "epsilon of empty front");
+  double eps = -std::numeric_limits<double>::infinity();
+  for (const Solution& r : reference) {
+    // Best achievable translation for this reference point.
+    double best = std::numeric_limits<double>::infinity();
+    for (const Solution& a : front) {
+      double worst_obj = -std::numeric_limits<double>::infinity();
+      for (std::size_t j = 0; j < r.objectives.size(); ++j) {
+        worst_obj = std::max(worst_obj, a.objectives[j] - r.objectives[j]);
+      }
+      best = std::min(best, worst_obj);
+    }
+    eps = std::max(eps, best);
+  }
+  return eps;
+}
+
+}  // namespace aedbmls::moo

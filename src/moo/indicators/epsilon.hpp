@@ -1,0 +1,17 @@
+#pragma once
+
+/// Additive epsilon indicator (Zitzler et al. 2003): the smallest amount by
+/// which `front` must be translated (in every objective) to weakly dominate
+/// every point of `reference`.  0 when the front covers the reference;
+/// provided as an extra accuracy indicator beyond the paper's three.
+
+#include <vector>
+
+#include "moo/core/solution.hpp"
+
+namespace aedbmls::moo {
+
+[[nodiscard]] double additive_epsilon(const std::vector<Solution>& front,
+                                      const std::vector<Solution>& reference);
+
+}  // namespace aedbmls::moo

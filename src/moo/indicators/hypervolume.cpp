@@ -1,0 +1,121 @@
+#include "moo/indicators/hypervolume.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "moo/core/dominance.hpp"
+
+namespace aedbmls::moo {
+namespace {
+
+using Point = std::vector<double>;
+
+/// 2-D hypervolume by sweeping points sorted on the first objective.
+double hv2d(std::vector<Point> points, const Point& ref) {
+  std::sort(points.begin(), points.end(),
+            [](const Point& a, const Point& b) { return a[0] < b[0]; });
+  double volume = 0.0;
+  double prev_y = ref[1];
+  for (const Point& p : points) {
+    if (p[1] < prev_y) {
+      volume += (ref[0] - p[0]) * (prev_y - p[1]);
+      prev_y = p[1];
+    }
+  }
+  return volume;
+}
+
+/// Inclusive hypervolume of a single point.
+double inclhv(const Point& p, const Point& ref) {
+  double volume = 1.0;
+  for (std::size_t j = 0; j < p.size(); ++j) volume *= ref[j] - p[j];
+  return volume;
+}
+
+/// Keeps only the non-dominated points of `set` (minimisation).
+void filter_nondominated(std::vector<Point>& set) {
+  std::vector<Point> kept;
+  kept.reserve(set.size());
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < set.size() && !dominated; ++j) {
+      if (i == j) continue;
+      const Dominance d = compare_objectives(set[j], set[i]);
+      if (d == Dominance::kFirst) dominated = true;
+      // Equal duplicates: keep only the first occurrence.
+      if (d == Dominance::kNone && set[j] == set[i] && j < i) dominated = true;
+    }
+    if (!dominated) kept.push_back(set[i]);
+  }
+  set = std::move(kept);
+}
+
+double hv_wfg(std::vector<Point> points, const Point& ref);
+
+/// Exclusive hypervolume of `p` relative to the set `rest`.
+double exclhv(const Point& p, const std::vector<Point>& rest, const Point& ref) {
+  // limitSet: each q replaced by max(p, q) componentwise — the part of q's
+  // box that overlaps p's box.
+  std::vector<Point> limit;
+  limit.reserve(rest.size());
+  for (const Point& q : rest) {
+    Point worse(q.size());
+    for (std::size_t j = 0; j < q.size(); ++j) worse[j] = std::max(p[j], q[j]);
+    limit.push_back(std::move(worse));
+  }
+  filter_nondominated(limit);
+  return inclhv(p, ref) - hv_wfg(std::move(limit), ref);
+}
+
+double hv_wfg(std::vector<Point> points, const Point& ref) {
+  if (points.empty()) return 0.0;
+  if (ref.size() == 2) return hv2d(std::move(points), ref);
+  // Sorting on the last objective (descending contribution order) is the
+  // standard WFG heuristic that keeps the recursion shallow.
+  std::sort(points.begin(), points.end(), [](const Point& a, const Point& b) {
+    return a.back() > b.back();
+  });
+  double volume = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const std::vector<Point> rest(points.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                                  points.end());
+    volume += exclhv(points[i], rest, ref);
+  }
+  return volume;
+}
+
+}  // namespace
+
+double hypervolume(const std::vector<std::vector<double>>& points,
+                   const std::vector<double>& reference) {
+  AEDB_REQUIRE(reference.size() >= 2, "hypervolume needs >= 2 objectives");
+  std::vector<Point> valid;
+  valid.reserve(points.size());
+  for (const Point& p : points) {
+    AEDB_REQUIRE(p.size() == reference.size(), "point/reference size mismatch");
+    bool inside = true;
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      if (p[j] >= reference[j]) {
+        inside = false;
+        break;
+      }
+    }
+    if (inside) valid.push_back(p);
+  }
+  filter_nondominated(valid);
+  return hv_wfg(std::move(valid), reference);
+}
+
+double hypervolume(const std::vector<Solution>& front,
+                   const std::vector<double>& reference) {
+  std::vector<std::vector<double>> points;
+  points.reserve(front.size());
+  for (const Solution& s : front) points.push_back(s.objectives);
+  return hypervolume(points, reference);
+}
+
+std::vector<double> unit_reference(std::size_t objectives, double margin) {
+  return std::vector<double>(objectives, 1.0 + margin);
+}
+
+}  // namespace aedbmls::moo

@@ -1,0 +1,31 @@
+#pragma once
+
+/// Exact hypervolume (all objectives minimised) — the accuracy+diversity
+/// indicator of the paper's Fig. 7 / Table IV comparison.
+///
+/// Implementation: WFG exclusive-hypervolume recursion (While et al. 2012)
+/// with a dedicated O(n log n) sweep for two objectives.  Points that do not
+/// strictly dominate the reference point contribute nothing and are
+/// filtered.  Exact up to floating point; practical for the front sizes
+/// used here (<= a few hundred points, 2-5 objectives; see bench_micro_moo).
+
+#include <vector>
+
+#include "moo/core/solution.hpp"
+
+namespace aedbmls::moo {
+
+/// Hypervolume of `points` (objective vectors) against `reference`
+/// (componentwise worst corner).  Returns 0 for an empty set.
+[[nodiscard]] double hypervolume(const std::vector<std::vector<double>>& points,
+                                 const std::vector<double>& reference);
+
+/// Convenience overload over solutions.
+[[nodiscard]] double hypervolume(const std::vector<Solution>& front,
+                                 const std::vector<double>& reference);
+
+/// Reference point for a normalised front: (1+margin, ..., 1+margin).
+[[nodiscard]] std::vector<double> unit_reference(std::size_t objectives,
+                                                 double margin = 0.01);
+
+}  // namespace aedbmls::moo

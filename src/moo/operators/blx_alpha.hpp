@@ -1,0 +1,39 @@
+#pragma once
+
+/// BLX-α blend operators (Eshelman & Schaffer 1992).
+///
+/// Two variants are provided:
+///  * `blx_alpha_crossover` — the textbook recombination: each child gene is
+///    uniform in [min-αd, max+αd] of the parent genes (used by the EA lib);
+///  * `paper_blx_step` — the *exact* perturbation of the paper's Eq. 2,
+///    which AEDB-MLS applies to the parameters chosen by a search
+///    criterion:
+///        ŝp = sp + φ·[(3ρ) − 2],  φ = α·|sp − tp|,  ρ ∈ [0,1)
+///    i.e. an offset uniform in [−2φ, +φ) — deliberately asymmetric (a
+///    slight downward bias relative to the teammate distance).  We keep the
+///    published form; the operator ablation (E9) contrasts it with the
+///    symmetric variant.
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace aedbmls::moo {
+
+/// The paper's Eq. 2 on a single variable.  Result is NOT clamped.
+[[nodiscard]] double paper_blx_step(double sp, double tp, double alpha,
+                                    Xoshiro256& rng);
+
+/// Symmetric variant (offset uniform in [-1.5φ, +1.5φ)), same expected
+/// magnitude as Eq. 2, zero bias.  Used by the E9 operator ablation.
+[[nodiscard]] double symmetric_blx_step(double sp, double tp, double alpha,
+                                        Xoshiro256& rng);
+
+/// Classic BLX-α recombination of two equal-length parents; each gene drawn
+/// uniform in the α-extended interval, then clamped to [lo,hi] per gene.
+[[nodiscard]] std::vector<double> blx_alpha_crossover(
+    const std::vector<double>& parent1, const std::vector<double>& parent2,
+    double alpha, const std::vector<std::pair<double, double>>& bounds,
+    Xoshiro256& rng);
+
+}  // namespace aedbmls::moo

@@ -1,0 +1,29 @@
+#include "moo/operators/de.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace aedbmls::moo {
+
+std::vector<double> de_rand_1_bin(
+    const std::vector<double>& target, const std::vector<double>& base,
+    const std::vector<double>& a, const std::vector<double>& b,
+    const DeParams& params, const std::vector<std::pair<double, double>>& bounds,
+    Xoshiro256& rng) {
+  const std::size_t n = target.size();
+  AEDB_REQUIRE(base.size() == n && a.size() == n && b.size() == n, "size mismatch");
+  AEDB_REQUIRE(bounds.size() == n, "bounds size mismatch");
+
+  std::vector<double> trial = target;
+  const std::size_t j_rand = rng.uniform_int(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (j == j_rand || rng.bernoulli(params.cr)) {
+      const double mutant = base[j] + params.f * (a[j] - b[j]);
+      trial[j] = std::clamp(mutant, bounds[j].first, bounds[j].second);
+    }
+  }
+  return trial;
+}
+
+}  // namespace aedbmls::moo

@@ -1,0 +1,27 @@
+#pragma once
+
+/// Differential-evolution operator DE/rand/1/bin (Storn & Price), the
+/// variation operator of CellDE: trial = base + F*(a − b), binomially
+/// crossed with the target vector under rate CR.
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace aedbmls::moo {
+
+struct DeParams {
+  double f = 0.5;   ///< differential weight
+  double cr = 0.9;  ///< crossover rate
+};
+
+/// Builds the trial vector; genes clamped to bounds.  At least one gene is
+/// always taken from the mutant (the classic j_rand rule).
+[[nodiscard]] std::vector<double> de_rand_1_bin(
+    const std::vector<double>& target, const std::vector<double>& base,
+    const std::vector<double>& a, const std::vector<double>& b,
+    const DeParams& params, const std::vector<std::pair<double, double>>& bounds,
+    Xoshiro256& rng);
+
+}  // namespace aedbmls::moo

@@ -1,0 +1,42 @@
+#include "moo/operators/polynomial_mutation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace aedbmls::moo {
+
+void polynomial_mutation(std::vector<double>& x,
+                         const PolynomialMutationParams& params,
+                         const std::vector<std::pair<double, double>>& bounds,
+                         Xoshiro256& rng) {
+  AEDB_REQUIRE(bounds.size() == x.size(), "bounds size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (!rng.bernoulli(params.probability)) continue;
+    const auto [lo, hi] = bounds[i];
+    const double span = hi - lo;
+    if (span <= 0.0) continue;
+
+    const double y = x[i];
+    const double delta1 = (y - lo) / span;
+    const double delta2 = (hi - y) / span;
+    const double rnd = rng.uniform();
+    const double mut_pow = 1.0 / (params.eta + 1.0);
+    double deltaq;
+    if (rnd < 0.5) {
+      const double xy = 1.0 - delta1;
+      const double val =
+          2.0 * rnd + (1.0 - 2.0 * rnd) * std::pow(xy, params.eta + 1.0);
+      deltaq = std::pow(val, mut_pow) - 1.0;
+    } else {
+      const double xy = 1.0 - delta2;
+      const double val = 2.0 * (1.0 - rnd) +
+                         2.0 * (rnd - 0.5) * std::pow(xy, params.eta + 1.0);
+      deltaq = 1.0 - std::pow(val, mut_pow);
+    }
+    x[i] = std::clamp(y + deltaq * span, lo, hi);
+  }
+}
+
+}  // namespace aedbmls::moo

@@ -1,0 +1,24 @@
+#pragma once
+
+/// Polynomial mutation (Deb & Goyal 1996), bounds-aware variant used by
+/// NSGA-II and as the mutation stage of CellDE.
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace aedbmls::moo {
+
+struct PolynomialMutationParams {
+  double probability = 0.2;  ///< per-variable mutation probability (often 1/n)
+  double eta = 20.0;         ///< distribution index
+};
+
+/// Mutates `x` in place; genes stay inside their bounds.
+void polynomial_mutation(std::vector<double>& x,
+                         const PolynomialMutationParams& params,
+                         const std::vector<std::pair<double, double>>& bounds,
+                         Xoshiro256& rng);
+
+}  // namespace aedbmls::moo

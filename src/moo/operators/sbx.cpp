@@ -1,0 +1,52 @@
+#include "moo/operators/sbx.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace aedbmls::moo {
+
+std::pair<std::vector<double>, std::vector<double>> sbx_crossover(
+    const std::vector<double>& parent1, const std::vector<double>& parent2,
+    const SbxParams& params, const std::vector<std::pair<double, double>>& bounds,
+    Xoshiro256& rng) {
+  AEDB_REQUIRE(parent1.size() == parent2.size(), "parent size mismatch");
+  AEDB_REQUIRE(bounds.size() == parent1.size(), "bounds size mismatch");
+
+  std::vector<double> child1 = parent1;
+  std::vector<double> child2 = parent2;
+  if (!rng.bernoulli(params.crossover_probability)) return {child1, child2};
+
+  constexpr double kEps = 1e-14;
+  for (std::size_t i = 0; i < parent1.size(); ++i) {
+    if (!rng.bernoulli(0.5)) continue;  // jMetal: each variable with p=0.5
+    double y1 = std::min(parent1[i], parent2[i]);
+    double y2 = std::max(parent1[i], parent2[i]);
+    const auto [lo, hi] = bounds[i];
+    if (std::fabs(y2 - y1) <= kEps) continue;
+
+    const double rand = rng.uniform();
+    auto spread = [&](double beta_bound) {
+      const double alpha = 2.0 - std::pow(beta_bound, -(params.eta + 1.0));
+      if (rand <= 1.0 / alpha) {
+        return std::pow(rand * alpha, 1.0 / (params.eta + 1.0));
+      }
+      return std::pow(1.0 / (2.0 - rand * alpha), 1.0 / (params.eta + 1.0));
+    };
+
+    const double beta1 = 1.0 + 2.0 * (y1 - lo) / (y2 - y1);
+    const double beta2 = 1.0 + 2.0 * (hi - y2) / (y2 - y1);
+    const double c1 = 0.5 * ((y1 + y2) - spread(beta1) * (y2 - y1));
+    const double c2 = 0.5 * ((y1 + y2) + spread(beta2) * (y2 - y1));
+
+    double out1 = std::clamp(c1, lo, hi);
+    double out2 = std::clamp(c2, lo, hi);
+    if (rng.bernoulli(0.5)) std::swap(out1, out2);
+    child1[i] = out1;
+    child2[i] = out2;
+  }
+  return {child1, child2};
+}
+
+}  // namespace aedbmls::moo

@@ -1,0 +1,25 @@
+#pragma once
+
+/// Simulated binary crossover (Deb & Agrawal 1995) — NSGA-II's
+/// recombination operator, with jMetal-compatible semantics (per-variable
+/// application probability 0.5, bounds-aware spread factor).
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace aedbmls::moo {
+
+struct SbxParams {
+  double crossover_probability = 0.9;  ///< applied to the pair at all
+  double eta = 20.0;                   ///< distribution index (larger = closer to parents)
+};
+
+/// Produces two children from two parents; genes clamped to bounds.
+[[nodiscard]] std::pair<std::vector<double>, std::vector<double>> sbx_crossover(
+    const std::vector<double>& parent1, const std::vector<double>& parent2,
+    const SbxParams& params, const std::vector<std::pair<double, double>>& bounds,
+    Xoshiro256& rng);
+
+}  // namespace aedbmls::moo

@@ -1,0 +1,25 @@
+#pragma once
+
+/// Selection operators.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "moo/core/solution.hpp"
+
+namespace aedbmls::moo {
+
+/// Binary tournament by (rank, crowding distance): lower rank wins; ties
+/// break on larger crowding; remaining ties are decided by the draw order.
+/// Returns an index into the population.
+[[nodiscard]] std::size_t tournament_select(const std::vector<std::size_t>& ranks,
+                                            const std::vector<double>& crowding,
+                                            Xoshiro256& rng);
+
+/// Binary tournament by constraint-domination only (used where ranks are
+/// not available, e.g. steady-state loops).
+[[nodiscard]] std::size_t dominance_tournament(const std::vector<Solution>& population,
+                                               Xoshiro256& rng);
+
+}  // namespace aedbmls::moo

@@ -1,0 +1,150 @@
+#include "moo/sa/morris.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace aedbmls::moo {
+
+Morris::Morris(MorrisConfig config) : config_(config) {
+  AEDB_REQUIRE(config_.trajectories >= 2, "Morris needs >= 2 trajectories");
+  AEDB_REQUIRE(config_.levels >= 2 && config_.levels % 2 == 0,
+               "Morris levels must be even and >= 2");
+}
+
+MorrisResult Morris::analyze(
+    const std::vector<std::pair<double, double>>& domain, const Model& model,
+    std::size_t output_count, par::ThreadPool* pool) const {
+  const std::size_t k = domain.size();
+  AEDB_REQUIRE(k >= 1, "no factors");
+  const std::size_t p = config_.levels;
+  const std::size_t r = config_.trajectories;
+  // Normalised grid step: the standard choice covering the level grid.
+  const double delta =
+      static_cast<double>(p) / (2.0 * static_cast<double>(p - 1));
+
+  // Build all trajectories up front so evaluations can run in parallel.
+  // Each trajectory: base point on the sub-grid {0, 1/(p-1), ..., 1-delta},
+  // then k single-factor moves of +delta (wrapping to -delta when the move
+  // would leave [0,1]) in a random factor order.
+  struct Step {
+    std::vector<double> unit;  ///< point in [0,1]^k
+  };
+  std::vector<std::vector<Step>> trajectories(r);
+  std::vector<std::vector<std::size_t>> orders(r);
+  std::vector<std::vector<double>> signs(r);  // applied move per factor
+
+  const CounterRng root(config_.seed, {0x11035});
+  for (std::size_t t = 0; t < r; ++t) {
+    Xoshiro256 rng = root.engine(t);
+    std::vector<double> point(k);
+    for (std::size_t f = 0; f < k; ++f) {
+      // Levels 0 .. p/2-1 guarantee +delta stays inside [0,1].
+      const auto level = rng.uniform_int(p / 2);
+      point[f] =
+          static_cast<double>(level) / static_cast<double>(p - 1);
+    }
+    std::vector<std::size_t> order(k);
+    std::iota(order.begin(), order.end(), 0);
+    for (std::size_t i = k; i > 1; --i) {  // Fisher-Yates
+      std::swap(order[i - 1], order[rng.uniform_int(i)]);
+    }
+
+    trajectories[t].push_back(Step{point});
+    signs[t].assign(k, 1.0);
+    for (const std::size_t f : order) {
+      double move = delta;
+      if (point[f] + move > 1.0 + 1e-12) move = -delta;
+      point[f] += move;
+      signs[t][f] = move > 0 ? 1.0 : -1.0;
+      trajectories[t].push_back(Step{point});
+    }
+    orders[t] = std::move(order);
+  }
+
+  // Flatten, map to the domain, evaluate.
+  std::vector<std::vector<double>> inputs;
+  inputs.reserve(r * (k + 1));
+  for (const auto& trajectory : trajectories) {
+    for (const Step& step : trajectory) {
+      std::vector<double> x(k);
+      for (std::size_t f = 0; f < k; ++f) {
+        x[f] = domain[f].first +
+               (domain[f].second - domain[f].first) * step.unit[f];
+      }
+      inputs.push_back(std::move(x));
+    }
+  }
+  std::vector<std::vector<double>> outputs(inputs.size());
+  if (pool != nullptr) {
+    pool->parallel_for(inputs.size(),
+                       [&](std::size_t i) { outputs[i] = model(inputs[i]); });
+  } else {
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      outputs[i] = model(inputs[i]);
+    }
+  }
+
+  // Elementary effects per output: EE scaled to the *unit* domain so
+  // factors with different physical ranges stay comparable.
+  MorrisResult result;
+  result.evaluations = inputs.size();
+  result.outputs.resize(output_count);
+  for (auto& indices : result.outputs) {
+    indices.mu.assign(k, 0.0);
+    indices.mu_star.assign(k, 0.0);
+    indices.sigma.assign(k, 0.0);
+  }
+
+  std::vector<std::vector<std::vector<double>>> effects(
+      output_count, std::vector<std::vector<double>>(k));
+  for (std::size_t t = 0; t < r; ++t) {
+    const std::size_t base = t * (k + 1);
+    for (std::size_t step = 0; step < k; ++step) {
+      const std::size_t factor = orders[t][step];
+      for (std::size_t out = 0; out < output_count; ++out) {
+        AEDB_REQUIRE(outputs[base + step].size() == output_count,
+                     "model returned wrong output count");
+        const double dy =
+            outputs[base + step + 1][out] - outputs[base + step][out];
+        effects[out][factor].push_back(dy / delta * signs[t][factor]);
+      }
+    }
+  }
+  for (std::size_t out = 0; out < output_count; ++out) {
+    for (std::size_t f = 0; f < k; ++f) {
+      const auto& ee = effects[out][f];
+      double mu = 0.0;
+      double mu_star = 0.0;
+      for (const double e : ee) {
+        mu += e;
+        mu_star += std::fabs(e);
+      }
+      mu /= static_cast<double>(ee.size());
+      mu_star /= static_cast<double>(ee.size());
+      double var = 0.0;
+      for (const double e : ee) var += (e - mu) * (e - mu);
+      var /= static_cast<double>(ee.size() > 1 ? ee.size() - 1 : 1);
+      result.outputs[out].mu[f] = mu;
+      result.outputs[out].mu_star[f] = mu_star;
+      result.outputs[out].sigma[f] = std::sqrt(var);
+    }
+  }
+  return result;
+}
+
+MorrisIndices Morris::analyze_scalar(
+    const std::vector<std::pair<double, double>>& domain,
+    const std::function<double(const std::vector<double>&)>& model,
+    par::ThreadPool* pool) const {
+  const Model wrapped = [&model](const std::vector<double>& x) {
+    return std::vector<double>{model(x)};
+  };
+  MorrisResult result = analyze(domain, wrapped, 1, pool);
+  return std::move(result.outputs.front());
+}
+
+}  // namespace aedbmls::moo

@@ -1,0 +1,71 @@
+#include "moo/stats/boxplot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/table.hpp"
+
+namespace aedbmls::moo {
+
+std::string render_boxplots(const std::vector<BoxplotSeries>& series,
+                            std::size_t width, int value_precision) {
+  AEDB_REQUIRE(!series.empty(), "no series to plot");
+  AEDB_REQUIRE(width >= 10, "plot too narrow");
+
+  // Shared scale across all series.
+  double lo = series.front().values.front();
+  double hi = lo;
+  std::vector<FiveNumberSummary> summaries;
+  summaries.reserve(series.size());
+  std::size_t label_width = 0;
+  for (const auto& s : series) {
+    AEDB_REQUIRE(!s.values.empty(), "empty boxplot series");
+    summaries.push_back(five_number_summary(s.values));
+    for (const double v : s.values) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    label_width = std::max(label_width, s.label.size());
+  }
+  const double span = hi - lo;
+
+  auto column = [&](double v) -> std::size_t {
+    if (span <= 0.0) return width / 2;
+    const double frac = (v - lo) / span;
+    return static_cast<std::size_t>(
+        std::min(frac * static_cast<double>(width - 1),
+                 static_cast<double>(width - 1)));
+  };
+
+  std::ostringstream os;
+  for (std::size_t k = 0; k < series.size(); ++k) {
+    const auto& summary = summaries[k];
+    std::string row(width, ' ');
+    // Whiskers.
+    for (std::size_t c = column(summary.min); c <= column(summary.q1); ++c)
+      row[c] = '-';
+    for (std::size_t c = column(summary.q3); c <= column(summary.max); ++c)
+      row[c] = '-';
+    // Box.
+    for (std::size_t c = column(summary.q1); c <= column(summary.q3); ++c)
+      row[c] = '=';
+    row[column(summary.min)] = '|';
+    row[column(summary.max)] = '|';
+    row[column(summary.q1)] = '[';
+    row[column(summary.q3)] = ']';
+    row[column(summary.median)] = '#';
+    for (const double v : summary.outliers) row[column(v)] = 'o';
+
+    os << series[k].label
+       << std::string(label_width - series[k].label.size() + 1, ' ') << row
+       << "  med=" << format_double(summary.median, value_precision) << '\n';
+  }
+  os << std::string(label_width + 1, ' ') << format_double(lo, value_precision)
+     << std::string(width > 16 ? width - 16 : 1, ' ')
+     << format_double(hi, value_precision) << '\n';
+  return os.str();
+}
+
+}  // namespace aedbmls::moo

@@ -1,0 +1,25 @@
+#pragma once
+
+/// ASCII boxplots — the benches render Fig. 7's boxplot panels directly in
+/// the terminal (and mirror the five-number summaries to CSV).
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace aedbmls::moo {
+
+struct BoxplotSeries {
+  std::string label;
+  std::vector<double> values;
+};
+
+/// Renders horizontal boxplots on a shared scale:
+///   label |----[  Q1 |median| Q3 ]-----|   (o = outliers)
+/// `width` is the plot body width in characters.
+[[nodiscard]] std::string render_boxplots(const std::vector<BoxplotSeries>& series,
+                                          std::size_t width = 60,
+                                          int value_precision = 4);
+
+}  // namespace aedbmls::moo

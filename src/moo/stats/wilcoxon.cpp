@@ -1,0 +1,91 @@
+#include "moo/stats/wilcoxon.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/stats.hpp"
+
+namespace aedbmls::moo {
+
+WilcoxonResult wilcoxon_rank_sum(const std::vector<double>& a,
+                                 const std::vector<double>& b) {
+  AEDB_REQUIRE(a.size() >= 2 && b.size() >= 2, "rank-sum needs >= 2 per sample");
+  const std::size_t n1 = a.size();
+  const std::size_t n2 = b.size();
+  const std::size_t n = n1 + n2;
+
+  // Pool, sort, assign mid-ranks to ties.
+  struct Tagged {
+    double value;
+    bool from_a;
+  };
+  std::vector<Tagged> pooled;
+  pooled.reserve(n);
+  for (const double v : a) pooled.push_back({v, true});
+  for (const double v : b) pooled.push_back({v, false});
+  std::sort(pooled.begin(), pooled.end(),
+            [](const Tagged& x, const Tagged& y) { return x.value < y.value; });
+
+  double rank_sum_a = 0.0;
+  double tie_term = 0.0;  // sum over tie groups of t^3 - t
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && pooled[j + 1].value == pooled[i].value) ++j;
+    const double mid_rank = (static_cast<double>(i + 1) + static_cast<double>(j + 1)) / 2.0;
+    const auto t = static_cast<double>(j - i + 1);
+    if (t > 1.0) tie_term += t * t * t - t;
+    for (std::size_t k = i; k <= j; ++k) {
+      if (pooled[k].from_a) rank_sum_a += mid_rank;
+    }
+    i = j + 1;
+  }
+
+  const double n1d = static_cast<double>(n1);
+  const double n2d = static_cast<double>(n2);
+  const double nd = static_cast<double>(n);
+  const double u = rank_sum_a - n1d * (n1d + 1.0) / 2.0;
+  const double mean_u = n1d * n2d / 2.0;
+  const double var_u = n1d * n2d / 12.0 *
+                       ((nd + 1.0) - tie_term / (nd * (nd - 1.0)));
+
+  WilcoxonResult result;
+  result.u = u;
+  if (var_u <= 0.0) {  // all values identical
+    result.z = 0.0;
+    result.p_value = 1.0;
+    return result;
+  }
+  // Continuity correction toward the mean.
+  double numerator = u - mean_u;
+  if (numerator > 0.5) numerator -= 0.5;
+  else if (numerator < -0.5) numerator += 0.5;
+  else numerator = 0.0;
+  result.z = numerator / std::sqrt(var_u);
+  result.p_value = std::erfc(std::fabs(result.z) / std::sqrt(2.0));
+  return result;
+}
+
+Comparison compare_samples(const std::vector<double>& a,
+                           const std::vector<double>& b, bool smaller_is_better,
+                           double alpha) {
+  const WilcoxonResult r = wilcoxon_rank_sum(a, b);
+  if (r.p_value >= alpha) return Comparison::kNoDifference;
+  const double med_a = median(a);
+  const double med_b = median(b);
+  const bool a_smaller = med_a < med_b;
+  const bool a_better = smaller_is_better ? a_smaller : !a_smaller;
+  return a_better ? Comparison::kBetter : Comparison::kWorse;
+}
+
+const char* comparison_symbol(Comparison c) noexcept {
+  switch (c) {
+    case Comparison::kBetter: return "N";
+    case Comparison::kWorse: return "v";
+    case Comparison::kNoDifference: return "-";
+  }
+  return "?";
+}
+
+}  // namespace aedbmls::moo

@@ -1,0 +1,42 @@
+#pragma once
+
+/// Wilcoxon rank-sum / Mann-Whitney U test — the significance test behind
+/// the paper's Table IV ("Wilcoxon unpaired signed rank test", i.e. the
+/// unpaired rank-sum variant, at 95% confidence).
+///
+/// Normal approximation with tie correction and continuity correction;
+/// accurate for the sample sizes used here (n = 30 runs per cell).
+
+#include <vector>
+
+namespace aedbmls::moo {
+
+struct WilcoxonResult {
+  double u = 0.0;       ///< Mann-Whitney U of the first sample
+  double z = 0.0;       ///< standardised statistic
+  double p_value = 1.0; ///< two-sided p
+};
+
+/// Rank-sum test between two independent samples (each size >= 2).
+[[nodiscard]] WilcoxonResult wilcoxon_rank_sum(const std::vector<double>& a,
+                                               const std::vector<double>& b);
+
+/// Table IV cell outcome for "a vs b".
+enum class Comparison {
+  kBetter,        ///< a significantly better (the paper's black triangle)
+  kWorse,         ///< a significantly worse (white triangle)
+  kNoDifference,  ///< not significant ("–")
+};
+
+/// Significance + direction, where "better" means *smaller* values when
+/// `smaller_is_better` (IGD, spread) and larger otherwise (hypervolume).
+[[nodiscard]] Comparison compare_samples(const std::vector<double>& a,
+                                         const std::vector<double>& b,
+                                         bool smaller_is_better,
+                                         double alpha = 0.05);
+
+/// Renders a Comparison as the paper's symbol: "N" (better), "v" (worse),
+/// "-" (no significance).
+[[nodiscard]] const char* comparison_symbol(Comparison c) noexcept;
+
+}  // namespace aedbmls::moo

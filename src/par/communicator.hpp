@@ -1,0 +1,104 @@
+#pragma once
+
+/// In-process message-passing layer with MPI-like semantics.
+///
+/// The paper runs AEDB-MLS on a cluster: message passing *between*
+/// distributed populations and shared memory *within* each population
+/// (hybrid model, §IV).  No MPI implementation is available in this
+/// environment, so `Communicator` reproduces the communication semantics
+/// over threads: N ranks, point-to-point send/recv, barrier, and allgather.
+/// Rank r's endpoint may only be used from the thread driving rank r, just
+/// as an MPI rank is a process.
+///
+/// This keeps the algorithm's structure identical to a real deployment: the
+/// transport could be swapped for MPI without touching the algorithm.
+
+#include <barrier>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "par/mailbox.hpp"
+
+namespace aedbmls::par {
+
+/// A message-passing world of `size` ranks carrying messages of type T.
+template <typename T>
+class Communicator {
+ public:
+  /// Creates a world with `size` ranks (>= 1).
+  explicit Communicator(std::size_t size)
+      : inboxes_(size), barrier_(static_cast<std::ptrdiff_t>(size)) {
+    AEDB_REQUIRE(size >= 1, "Communicator needs at least one rank");
+    for (auto& inbox : inboxes_) inbox = std::make_unique<Mailbox<Envelope>>();
+  }
+
+  /// Number of ranks.
+  [[nodiscard]] std::size_t size() const noexcept { return inboxes_.size(); }
+
+  /// Sends `message` from rank `from` to rank `to`.  Non-blocking (buffered
+  /// send in MPI terms).  Returns false when the world was shut down.
+  bool send(std::size_t from, std::size_t to, T message) {
+    AEDB_REQUIRE(from < size() && to < size(), "rank out of range");
+    return inboxes_[to]->send(Envelope{from, std::move(message)});
+  }
+
+  /// Blocking receive of the next message addressed to `rank`.
+  /// Returns nullopt after shutdown once the inbox is drained.
+  std::optional<std::pair<std::size_t, T>> recv(std::size_t rank) {
+    AEDB_REQUIRE(rank < size(), "rank out of range");
+    auto envelope = inboxes_[rank]->recv();
+    if (!envelope) return std::nullopt;
+    return std::make_pair(envelope->source, std::move(envelope->payload));
+  }
+
+  /// Non-blocking receive (MPI_Iprobe + recv).
+  std::optional<std::pair<std::size_t, T>> try_recv(std::size_t rank) {
+    AEDB_REQUIRE(rank < size(), "rank out of range");
+    auto envelope = inboxes_[rank]->try_recv();
+    if (!envelope) return std::nullopt;
+    return std::make_pair(envelope->source, std::move(envelope->payload));
+  }
+
+  /// Synchronises all ranks (every rank must call it).
+  void barrier() { barrier_.arrive_and_wait(); }
+
+  /// Gathers one contribution per rank; every rank receives the full vector
+  /// indexed by rank.  Collective: all ranks must call with their value.
+  std::vector<T> allgather(std::size_t rank, T value) {
+    {
+      std::lock_guard lock(gather_mutex_);
+      if (gather_buffer_.size() != size()) gather_buffer_.resize(size());
+      gather_buffer_[rank] = std::move(value);
+    }
+    barrier();  // all contributions visible
+    std::vector<T> out;
+    {
+      std::lock_guard lock(gather_mutex_);
+      out = gather_buffer_;
+    }
+    barrier();  // nobody overwrites the buffer before everyone copied
+    return out;
+  }
+
+  /// Closes all inboxes; pending receives drain then return nullopt.
+  void shutdown() {
+    for (auto& inbox : inboxes_) inbox->close();
+  }
+
+ private:
+  struct Envelope {
+    std::size_t source;
+    T payload;
+  };
+
+  std::vector<std::unique_ptr<Mailbox<Envelope>>> inboxes_;
+  std::barrier<> barrier_;
+  std::mutex gather_mutex_;
+  std::vector<T> gather_buffer_;
+};
+
+}  // namespace aedbmls::par

@@ -1,0 +1,65 @@
+#pragma once
+
+/// Bounded lock-free single-producer/single-consumer ring buffer.
+///
+/// Used where one thread streams results to exactly one consumer (e.g.
+/// per-worker statistics draining in the benches) without taking locks in
+/// the hot path.  Capacity is rounded up to a power of two.
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace aedbmls::par {
+
+template <typename T>
+class SpscQueue {
+ public:
+  /// Creates a queue holding at most `capacity` elements (>= 1).
+  explicit SpscQueue(std::size_t capacity)
+      : buffer_(std::bit_ceil(std::max<std::size_t>(capacity, 1))),
+        mask_(buffer_.size() - 1) {}
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Producer side.  Returns false when full.
+  bool try_push(T value) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail >= buffer_.size()) return false;
+    buffer_[head & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side.  Returns nullopt when empty.
+  std::optional<T> try_pop() {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    if (tail == head) return std::nullopt;
+    T out = std::move(buffer_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return out;
+  }
+
+  /// Approximate size (exact when called from producer or consumer thread).
+  [[nodiscard]] std::size_t size_approx() const {
+    return head_.load(std::memory_order_acquire) -
+           tail_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return buffer_.size(); }
+
+ private:
+  std::vector<T> buffer_;
+  std::size_t mask_;
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace aedbmls::par

@@ -1,0 +1,53 @@
+#include "par/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+
+#include "common/assert.hpp"
+
+namespace aedbmls::par {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  tasks_.close();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  while (auto task = tasks_.recv()) {
+    (*task)();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  // Dynamic scheduling over a shared counter: iterations have very uneven
+  // cost (a simulation's event count depends on the configuration), so
+  // static chunking would leave workers idle.
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  const std::size_t workers = std::min(n, thread_count());
+  std::vector<std::future<void>> futures;
+  futures.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    futures.push_back(submit([next, n, &fn] {
+      for (std::size_t i = next->fetch_add(1); i < n; i = next->fetch_add(1)) {
+        fn(i);
+      }
+    }));
+  }
+  for (auto& future : futures) future.get();
+}
+
+}  // namespace aedbmls::par

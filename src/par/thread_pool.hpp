@@ -1,0 +1,58 @@
+#pragma once
+
+/// Fixed-size thread pool with futures and a blocking parallel_for.
+///
+/// The optimiser uses this for the shared-memory half of the hybrid model:
+/// evaluating population members concurrently (NSGA-II / CellDE benches) and
+/// running the MLS worker threads.  Tasks must not block on other queued
+/// tasks (no nested dependency resolution is performed).
+
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "par/mailbox.hpp"
+
+namespace aedbmls::par {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>=1; defaults to hardware concurrency).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Joins all workers after draining the queue.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Schedules `fn()` and returns its future.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    auto future = task->get_future();
+    const bool ok = tasks_.send([task] { (*task)(); });
+    if (!ok) {
+      // Pool already shut down: run inline so the future is not abandoned.
+      (*task)();
+    }
+    return future;
+  }
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  /// `fn` must be safe to invoke concurrently.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  [[nodiscard]] std::size_t thread_count() const noexcept { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  Mailbox<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace aedbmls::par

@@ -1,0 +1,37 @@
+#include "sim/apps/beacon_app.hpp"
+
+namespace aedbmls::sim {
+
+BeaconApp::BeaconApp(Simulator& simulator, Node& node, Config config,
+                     CounterRng stream)
+    : Application(simulator, node),
+      config_(config),
+      rng_(stream.engine()),
+      table_(config.neighbor_expiry) {}
+
+void BeaconApp::start() {
+  // Random phase in [0, period) staggers beacon slots across nodes.
+  const double phase_s = rng_.uniform(0.0, config_.period.seconds());
+  simulator().schedule_at(config_.start_at + seconds_d(phase_s),
+                          [this] { send_beacon(); });
+}
+
+void BeaconApp::send_beacon() {
+  Frame frame;
+  frame.kind = FrameKind::kBeacon;
+  frame.size_bytes = config_.beacon_bytes;
+  node().device().send(frame, config_.tx_power_dbm);
+  ++sent_;
+
+  const double jitter_s = rng_.uniform(0.0, config_.jitter.seconds());
+  simulator().schedule(config_.period + seconds_d(jitter_s),
+                       [this] { send_beacon(); });
+}
+
+void BeaconApp::on_receive(const Frame& frame, double rx_dbm) {
+  if (frame.kind != FrameKind::kBeacon) return;
+  ++heard_;
+  table_.update(frame.sender, rx_dbm, frame.tx_power_dbm, simulator().now());
+}
+
+}  // namespace aedbmls::sim

@@ -1,0 +1,50 @@
+#pragma once
+
+/// Periodic hello-beacon application (AEDB's neighbor discovery substrate).
+///
+/// Beacons are sent at the default transmission power every `period`
+/// (1 s in the paper) starting from `start_at` plus a random phase that
+/// desynchronises nodes.  Every received beacon updates the node's
+/// `NeighborTable`.  The table is shared with the AEDB application on the
+/// same node (it owns it; AEDB holds a reference).
+
+#include "common/rng.hpp"
+#include "sim/apps/neighbor_table.hpp"
+#include "sim/net/node.hpp"
+
+namespace aedbmls::sim {
+
+class BeaconApp final : public Application {
+ public:
+  struct Config {
+    Time start_at = aedbmls::sim::seconds(27);  ///< first beacon window opens
+    Time period = aedbmls::sim::seconds(1);     ///< beacon interval (Table II: 1 s)
+    Time jitter = milliseconds(10);             ///< per-beacon random jitter
+    std::uint32_t beacon_bytes = 50;            ///< beacon frame size
+    double tx_power_dbm = 16.02;                ///< beacons use default power
+    Time neighbor_expiry = seconds_d(2.5);      ///< table entry lifetime
+  };
+
+  /// `stream` must be unique per node (derive from the network stream).
+  BeaconApp(Simulator& simulator, Node& node, Config config, CounterRng stream);
+
+  void start() override;
+  void on_receive(const Frame& frame, double rx_dbm) override;
+
+  /// The neighbor table maintained by this app (purged on access).
+  [[nodiscard]] NeighborTable& neighbor_table() noexcept { return table_; }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+  [[nodiscard]] std::uint64_t beacons_sent() const noexcept { return sent_; }
+  [[nodiscard]] std::uint64_t beacons_heard() const noexcept { return heard_; }
+
+ private:
+  void send_beacon();
+
+  Config config_;
+  Xoshiro256 rng_;
+  NeighborTable table_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t heard_ = 0;
+};
+
+}  // namespace aedbmls::sim

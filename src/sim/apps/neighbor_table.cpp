@@ -1,0 +1,79 @@
+#include "sim/apps/neighbor_table.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace aedbmls::sim {
+
+void NeighborTable::update(NodeId id, double rx_dbm, double tx_dbm, Time now) {
+  Entry& entry = entries_[id];
+  entry.id = id;
+  entry.last_rx_dbm = rx_dbm;
+  entry.path_loss_db = tx_dbm - rx_dbm;
+  entry.last_heard = now;
+}
+
+void NeighborTable::purge(Time now) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (now - it->second.last_heard > expiry_) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool NeighborTable::erase(NodeId id) { return entries_.erase(id) > 0; }
+
+std::optional<NeighborTable::Entry> NeighborTable::find(NodeId id) const {
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t NeighborTable::count_in_forwarding_area(double border_dbm,
+                                                    double default_tx_dbm) const {
+  std::size_t count = 0;
+  for (const auto& [id, entry] : entries_) {
+    const double predicted_rx = default_tx_dbm - entry.path_loss_db;
+    if (predicted_rx <= border_dbm) ++count;
+  }
+  return count;
+}
+
+std::optional<NeighborTable::Entry> NeighborTable::closest_to_border(
+    double border_dbm, double default_tx_dbm) const {
+  std::optional<Entry> best;
+  double best_rx = -std::numeric_limits<double>::infinity();
+  for (const auto& [id, entry] : entries_) {
+    const double predicted_rx = default_tx_dbm - entry.path_loss_db;
+    if (predicted_rx <= border_dbm && predicted_rx > best_rx) {
+      best_rx = predicted_rx;
+      best = entry;
+    }
+  }
+  return best;
+}
+
+std::optional<NeighborTable::Entry> NeighborTable::furthest(
+    const std::vector<NodeId>& exclude) const {
+  std::optional<Entry> best;
+  double best_loss = -1.0;
+  for (const auto& [id, entry] : entries_) {
+    if (std::find(exclude.begin(), exclude.end(), id) != exclude.end()) continue;
+    if (entry.path_loss_db > best_loss) {
+      best_loss = entry.path_loss_db;
+      best = entry;
+    }
+  }
+  return best;
+}
+
+std::vector<NeighborTable::Entry> NeighborTable::entries() const {
+  std::vector<Entry> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) out.push_back(entry);
+  return out;
+}
+
+}  // namespace aedbmls::sim

@@ -1,0 +1,27 @@
+#pragma once
+
+/// Event identity for the discrete-event scheduler.
+
+#include <cstdint>
+
+namespace aedbmls::sim {
+
+/// Opaque handle to a scheduled event; used for cancellation.
+/// Value 0 is reserved as "no event".
+class EventId {
+ public:
+  constexpr EventId() noexcept = default;
+  explicit constexpr EventId(std::uint64_t raw) noexcept : raw_(raw) {}
+
+  [[nodiscard]] constexpr std::uint64_t raw() const noexcept { return raw_; }
+  [[nodiscard]] constexpr bool valid() const noexcept { return raw_ != 0; }
+
+  friend constexpr bool operator==(EventId, EventId) noexcept = default;
+
+ private:
+  std::uint64_t raw_ = 0;
+};
+
+inline constexpr EventId kNoEvent{};
+
+}  // namespace aedbmls::sim

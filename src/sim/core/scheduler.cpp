@@ -1,0 +1,49 @@
+#include "sim/core/scheduler.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace aedbmls::sim {
+
+EventId Scheduler::insert(Time when, Callback callback) {
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(HeapNode{when, seq, std::move(callback)});
+  return EventId(seq);
+}
+
+bool Scheduler::cancel(EventId id) {
+  if (!id.valid() || id.raw() >= next_seq_) return false;
+  // Only mark ids that are plausibly still in the heap; executed events were
+  // removed, so inserting their id would leak set entries.  We cannot cheaply
+  // distinguish executed from pending, so we bound the set by erasing on pop.
+  return cancelled_.insert(id.raw()).second;
+}
+
+void Scheduler::drop_cancelled_top() {
+  while (!heap_.empty()) {
+    const auto it = cancelled_.find(heap_.top().seq);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+Time Scheduler::next_time() {
+  drop_cancelled_top();
+  AEDB_REQUIRE(!heap_.empty(), "next_time on empty scheduler");
+  return heap_.top().when;
+}
+
+Scheduler::Entry Scheduler::pop() {
+  drop_cancelled_top();
+  AEDB_REQUIRE(!heap_.empty(), "pop on empty scheduler");
+  // priority_queue::top() is const; the node is moved out via const_cast,
+  // which is safe because pop() immediately removes it.
+  auto& top = const_cast<HeapNode&>(heap_.top());
+  Entry entry{top.when, EventId(top.seq), std::move(top.callback)};
+  heap_.pop();
+  return entry;
+}
+
+}  // namespace aedbmls::sim

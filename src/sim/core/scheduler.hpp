@@ -1,0 +1,73 @@
+#pragma once
+
+/// Pending-event set: a binary heap ordered by (time, insertion sequence).
+///
+/// Ties in time are broken by insertion order, which makes simulations
+/// deterministic: two events scheduled for the same instant always run in
+/// the order they were scheduled.  Cancellation is lazy (a cancelled id set);
+/// cancelled events are skipped at pop time, which keeps cancel() O(1).
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/core/event.hpp"
+#include "sim/core/time.hpp"
+
+namespace aedbmls::sim {
+
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Inserts an event; returns its id.
+  EventId insert(Time when, Callback callback);
+
+  /// Marks an event cancelled.  Safe to call with ids already executed or
+  /// cancelled (no effect).  Returns true if the id was pending.
+  bool cancel(EventId id);
+
+  /// True when no runnable (non-cancelled) event remains.
+  [[nodiscard]] bool empty() const noexcept {
+    return heap_.size() == cancelled_.size();
+  }
+
+  /// Timestamp of the next runnable event.  Requires !empty().
+  [[nodiscard]] Time next_time();
+
+  /// Extracts the next runnable event.  Requires !empty().
+  struct Entry {
+    Time when;
+    EventId id;
+    Callback callback;
+  };
+  Entry pop();
+
+  /// Number of pending (non-cancelled) events.
+  [[nodiscard]] std::size_t size() const noexcept {
+    return heap_.size() - cancelled_.size();
+  }
+
+ private:
+  struct HeapNode {
+    Time when;
+    std::uint64_t seq;  // doubles as the EventId payload
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const HeapNode& a, const HeapNode& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled_top();
+
+  std::priority_queue<HeapNode, std::vector<HeapNode>, Later> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::uint64_t next_seq_ = 1;  // 0 reserved for kNoEvent
+};
+
+}  // namespace aedbmls::sim

@@ -1,0 +1,42 @@
+#include "sim/core/simulator.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace aedbmls::sim {
+
+EventId Simulator::schedule(Time delay, Scheduler::Callback callback) {
+  AEDB_REQUIRE(delay >= Time{}, "negative delay");
+  return scheduler_.insert(now_ + delay, std::move(callback));
+}
+
+EventId Simulator::schedule_at(Time when, Scheduler::Callback callback) {
+  AEDB_REQUIRE(when >= now_, "scheduling into the past");
+  return scheduler_.insert(when, std::move(callback));
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!scheduler_.empty() && !stopped_) {
+    auto entry = scheduler_.pop();
+    AEDB_REQUIRE(entry.when >= now_, "event ordering violated");
+    now_ = entry.when;
+    ++executed_;
+    entry.callback();
+  }
+}
+
+void Simulator::run_until(Time until) {
+  stopped_ = false;
+  while (!scheduler_.empty() && !stopped_) {
+    if (scheduler_.next_time() > until) break;
+    auto entry = scheduler_.pop();
+    now_ = entry.when;
+    ++executed_;
+    entry.callback();
+  }
+  if (!stopped_ && now_ < until) now_ = until;
+}
+
+}  // namespace aedbmls::sim

@@ -1,0 +1,58 @@
+#pragma once
+
+/// Simulation time as a signed 64-bit count of nanoseconds.
+///
+/// Integer time makes event ordering exact and runs bit-reproducible across
+/// platforms (ns-3 made the same choice).  The range covers ±292 years,
+/// far beyond the 40-second scenarios simulated here.
+
+#include <compare>
+#include <cstdint>
+
+namespace aedbmls::sim {
+
+class Time {
+ public:
+  constexpr Time() noexcept = default;
+
+  /// Constructs from a raw nanosecond count.
+  static constexpr Time from_ns(std::int64_t ns) noexcept { return Time(ns); }
+
+  /// Raw nanosecond count.
+  [[nodiscard]] constexpr std::int64_t ns() const noexcept { return ns_; }
+
+  /// Value in seconds (lossy; for reporting and float math only).
+  [[nodiscard]] constexpr double seconds() const noexcept {
+    return static_cast<double>(ns_) * 1e-9;
+  }
+
+  friend constexpr Time operator+(Time a, Time b) noexcept { return Time(a.ns_ + b.ns_); }
+  friend constexpr Time operator-(Time a, Time b) noexcept { return Time(a.ns_ - b.ns_); }
+  friend constexpr Time operator*(Time a, std::int64_t k) noexcept { return Time(a.ns_ * k); }
+  friend constexpr Time operator*(std::int64_t k, Time a) noexcept { return Time(a.ns_ * k); }
+  friend constexpr std::int64_t operator/(Time a, Time b) noexcept { return a.ns_ / b.ns_; }
+  friend constexpr Time operator%(Time a, Time b) noexcept { return Time(a.ns_ % b.ns_); }
+  constexpr Time& operator+=(Time o) noexcept { ns_ += o.ns_; return *this; }
+  constexpr Time& operator-=(Time o) noexcept { ns_ -= o.ns_; return *this; }
+
+  friend constexpr auto operator<=>(Time, Time) noexcept = default;
+
+ private:
+  explicit constexpr Time(std::int64_t ns) noexcept : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+/// Factory helpers mirroring ns-3's `Seconds()` etc.
+[[nodiscard]] constexpr Time nanoseconds(std::int64_t v) noexcept { return Time::from_ns(v); }
+[[nodiscard]] constexpr Time microseconds(std::int64_t v) noexcept { return Time::from_ns(v * 1000); }
+[[nodiscard]] constexpr Time milliseconds(std::int64_t v) noexcept { return Time::from_ns(v * 1000000); }
+[[nodiscard]] constexpr Time seconds(std::int64_t v) noexcept { return Time::from_ns(v * 1000000000); }
+
+/// Converts a floating-point second count (rounds to nearest nanosecond).
+[[nodiscard]] constexpr Time seconds_d(double v) noexcept {
+  // Manual rounding keeps this constexpr (std::llround is not).
+  const double scaled = v * 1e9;
+  return Time::from_ns(static_cast<std::int64_t>(scaled + (scaled >= 0 ? 0.5 : -0.5)));
+}
+
+}  // namespace aedbmls::sim

@@ -1,0 +1,28 @@
+#pragma once
+
+/// 2-D point/vector used for node positions (metres).
+
+#include <cmath>
+
+namespace aedbmls::sim {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) noexcept { return {a.x + b.x, a.y + b.y}; }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) noexcept { return {a.x - b.x, a.y - b.y}; }
+  friend constexpr Vec2 operator*(Vec2 a, double k) noexcept { return {a.x * k, a.y * k}; }
+  friend constexpr Vec2 operator*(double k, Vec2 a) noexcept { return a * k; }
+  friend constexpr bool operator==(Vec2 a, Vec2 b) noexcept = default;
+
+  [[nodiscard]] constexpr double dot(Vec2 o) const noexcept { return x * o.x + y * o.y; }
+  [[nodiscard]] double norm() const noexcept { return std::sqrt(x * x + y * y); }
+};
+
+/// Euclidean distance between two points.
+[[nodiscard]] inline double distance(Vec2 a, Vec2 b) noexcept {
+  return (a - b).norm();
+}
+
+}  // namespace aedbmls::sim

@@ -1,0 +1,104 @@
+#include "sim/mobility/gauss_markov.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/assert.hpp"
+
+namespace aedbmls::sim {
+namespace {
+
+/// Standard normal from two uniforms (Box-Muller, counter-based inputs).
+double gaussian(const CounterRng& stream, std::uint64_t index) {
+  double u1 = stream.uniform(2 * index);
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = stream.uniform(2 * index + 1);
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+}  // namespace
+
+GaussMarkovMobility::GaussMarkovMobility(Config config, Vec2 initial,
+                                         CounterRng stream)
+    : config_(config), initial_(initial), stream_(stream) {
+  AEDB_REQUIRE(config_.width > 0.0 && config_.height > 0.0, "empty arena");
+  AEDB_REQUIRE(config_.alpha >= 0.0 && config_.alpha <= 1.0,
+               "alpha outside [0,1]");
+  AEDB_REQUIRE(config_.step > Time{}, "step must be positive");
+  AEDB_REQUIRE(initial_.x >= 0.0 && initial_.x <= config_.width &&
+                   initial_.y >= 0.0 && initial_.y <= config_.height,
+               "initial position outside arena");
+  // Initial velocity: mean speed in a random direction.
+  const double angle =
+      stream_.uniform(0xFFFF'FFFF'FFFF'0000ULL, 0.0, 2.0 * std::numbers::pi);
+  cache_ = State{0, initial_,
+                 {config_.mean_speed * std::cos(angle),
+                  config_.mean_speed * std::sin(angle)}};
+}
+
+GaussMarkovMobility::State GaussMarkovMobility::advance(const State& s) const {
+  const double dt = config_.step.seconds();
+  State next;
+  next.step_index = s.step_index + 1;
+
+  // Move, reflecting at walls (position clamps, velocity flips).
+  next.pos = s.pos + s.vel * dt;
+  next.vel = s.vel;
+  if (next.pos.x < 0.0) {
+    next.pos.x = -next.pos.x;
+    next.vel.x = -next.vel.x;
+  } else if (next.pos.x > config_.width) {
+    next.pos.x = 2.0 * config_.width - next.pos.x;
+    next.vel.x = -next.vel.x;
+  }
+  if (next.pos.y < 0.0) {
+    next.pos.y = -next.pos.y;
+    next.vel.y = -next.vel.y;
+  } else if (next.pos.y > config_.height) {
+    next.pos.y = 2.0 * config_.height - next.pos.y;
+    next.vel.y = -next.vel.y;
+  }
+
+  // AR(1) velocity update toward the mean-speed drift along the current
+  // heading.
+  const double speed = std::max(next.vel.norm(), 1e-9);
+  const Vec2 drift = next.vel * (config_.mean_speed / speed);
+  const double noise_scale =
+      config_.sigma_speed *
+      std::sqrt(1.0 - config_.alpha * config_.alpha);
+  const auto index = static_cast<std::uint64_t>(next.step_index);
+  next.vel = config_.alpha * next.vel + (1.0 - config_.alpha) * drift +
+             Vec2{noise_scale * gaussian(stream_, 2 * index),
+                  noise_scale * gaussian(stream_, 2 * index + 1)};
+  return next;
+}
+
+const GaussMarkovMobility::State& GaussMarkovMobility::state_at(Time t) const {
+  AEDB_REQUIRE(t >= Time{}, "mobility query before t=0");
+  const std::int64_t k = t / config_.step;
+  if (k < cache_.step_index) {
+    // Rare rewind: restart from scratch.
+    const double angle = stream_.uniform(0xFFFF'FFFF'FFFF'0000ULL, 0.0,
+                                         2.0 * std::numbers::pi);
+    cache_ = State{0, initial_,
+                   {config_.mean_speed * std::cos(angle),
+                    config_.mean_speed * std::sin(angle)}};
+  }
+  while (cache_.step_index < k) cache_ = advance(cache_);
+  return cache_;
+}
+
+Vec2 GaussMarkovMobility::position(Time t) const {
+  const State& s = state_at(t);
+  const double dt = (t - config_.step * s.step_index).seconds();
+  Vec2 p = s.pos + s.vel * dt;
+  // Clamp the sub-step interpolation (reflection happens on step boundary).
+  p.x = std::min(std::max(p.x, 0.0), config_.width);
+  p.y = std::min(std::max(p.y, 0.0), config_.height);
+  return p;
+}
+
+Vec2 GaussMarkovMobility::velocity(Time t) const { return state_at(t).vel; }
+
+}  // namespace aedbmls::sim

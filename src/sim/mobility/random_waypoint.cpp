@@ -1,0 +1,62 @@
+#include "sim/mobility/random_waypoint.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace aedbmls::sim {
+
+RandomWaypointMobility::RandomWaypointMobility(Config config, Vec2 initial,
+                                               CounterRng stream)
+    : config_(config), initial_(initial), stream_(stream) {
+  AEDB_REQUIRE(config_.width > 0.0 && config_.height > 0.0, "empty arena");
+  AEDB_REQUIRE(config_.min_speed > 0.0, "random waypoint needs min_speed > 0");
+  AEDB_REQUIRE(config_.max_speed >= config_.min_speed, "speed range inverted");
+  cache_ = make_leg(0, Time{}, initial_);
+}
+
+RandomWaypointMobility::Leg RandomWaypointMobility::make_leg(std::uint64_t index,
+                                                             Time start,
+                                                             Vec2 from) const {
+  Leg leg;
+  leg.index = index;
+  leg.start = start;
+  leg.from = from;
+  leg.to = {stream_.uniform(3 * index, 0.0, config_.width),
+            stream_.uniform(3 * index + 1, 0.0, config_.height)};
+  leg.speed = stream_.uniform(3 * index + 2, config_.min_speed, config_.max_speed);
+  const double travel_s = distance(leg.from, leg.to) / leg.speed;
+  leg.arrive = start + seconds_d(travel_s);
+  leg.depart = leg.arrive + config_.pause;
+  return leg;
+}
+
+const RandomWaypointMobility::Leg& RandomWaypointMobility::leg_at(Time t) const {
+  AEDB_REQUIRE(t >= Time{}, "mobility query before t=0");
+  if (t < cache_.start) cache_ = make_leg(0, Time{}, initial_);
+  while (t >= cache_.depart) {
+    cache_ = make_leg(cache_.index + 1, cache_.depart, cache_.to);
+  }
+  return cache_;
+}
+
+Vec2 RandomWaypointMobility::position(Time t) const {
+  const Leg& leg = leg_at(t);
+  if (t >= leg.arrive) return leg.to;  // pausing
+  const double total = distance(leg.from, leg.to);
+  if (total <= 0.0) return leg.to;
+  const double travelled = leg.speed * (t - leg.start).seconds();
+  const double frac = travelled / total;
+  return leg.from + (leg.to - leg.from) * frac;
+}
+
+Vec2 RandomWaypointMobility::velocity(Time t) const {
+  const Leg& leg = leg_at(t);
+  if (t >= leg.arrive) return {0.0, 0.0};
+  const double total = distance(leg.from, leg.to);
+  if (total <= 0.0) return {0.0, 0.0};
+  const Vec2 dir = (leg.to - leg.from) * (1.0 / total);
+  return dir * leg.speed;
+}
+
+}  // namespace aedbmls::sim

@@ -1,0 +1,66 @@
+#include "sim/net/csma_mac.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace aedbmls::sim {
+
+CsmaBroadcastMac::CsmaBroadcastMac(Simulator& simulator, WirelessPhy& phy,
+                                   Params params, std::uint64_t rng_seed)
+    : simulator_(simulator), phy_(phy), params_(params), rng_(rng_seed) {
+  AEDB_REQUIRE(params_.cw >= 1, "contention window must be >= 1");
+  phy_.set_tx_done_callback([this] { tx_finished(); });
+}
+
+void CsmaBroadcastMac::enqueue(Frame frame, double tx_power_dbm) {
+  ++counters_.enqueued;
+  const double clamped =
+      std::clamp(tx_power_dbm, phy_.params().min_tx_power_dbm,
+                 phy_.params().max_tx_power_dbm);
+  queue_.push_back(Pending{frame, clamped, 0});
+  try_send();
+}
+
+void CsmaBroadcastMac::try_send() {
+  if (transmitting_ || retry_scheduled_ || queue_.empty()) return;
+
+  Pending& head = queue_.front();
+  if (phy_.medium_busy()) {
+    ++counters_.cca_busy;
+    if (++head.attempts > params_.max_retries) {
+      ++counters_.dropped;
+      const Frame dropped = head.frame;
+      queue_.pop_front();
+      if (on_drop_) on_drop_(dropped);
+      try_send();
+      return;
+    }
+    const auto slots = rng_.uniform_int(params_.cw);
+    const Time wait = params_.difs + params_.slot * static_cast<std::int64_t>(slots);
+    retry_scheduled_ = true;
+    simulator_.schedule(wait, [this] {
+      retry_scheduled_ = false;
+      try_send();
+    });
+    return;
+  }
+
+  transmitting_ = true;
+  const bool started = phy_.start_tx(head.frame, head.tx_power_dbm);
+  AEDB_REQUIRE(started, "PHY refused tx while MAC believed it idle");
+}
+
+void CsmaBroadcastMac::tx_finished() {
+  AEDB_REQUIRE(transmitting_, "tx_finished without transmission");
+  transmitting_ = false;
+  AEDB_REQUIRE(!queue_.empty(), "MAC queue underflow");
+  ++counters_.sent;
+  const Frame sent = queue_.front().frame;
+  const double power = queue_.front().tx_power_dbm;
+  queue_.pop_front();
+  if (on_sent_) on_sent_(sent, power);
+  try_send();
+}
+
+}  // namespace aedbmls::sim

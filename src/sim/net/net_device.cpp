@@ -1,0 +1,22 @@
+#include "sim/net/net_device.hpp"
+
+namespace aedbmls::sim {
+
+NetDevice::NetDevice(Simulator& simulator, NodeId node_id, PhyParams phy_params,
+                     CsmaBroadcastMac::Params mac_params,
+                     std::uint64_t mac_rng_seed)
+    : node_id_(node_id),
+      phy_(std::make_unique<WirelessPhy>(simulator, phy_params, node_id)),
+      mac_(std::make_unique<CsmaBroadcastMac>(simulator, *phy_, mac_params,
+                                              mac_rng_seed)) {}
+
+void NetDevice::send(Frame frame, double tx_power_dbm) {
+  frame.sender = node_id_;
+  mac_->enqueue(frame, tx_power_dbm);
+}
+
+void NetDevice::set_rx_callback(RxCallback callback) {
+  phy_->set_receive_callback(std::move(callback));
+}
+
+}  // namespace aedbmls::sim

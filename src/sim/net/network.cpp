@@ -1,0 +1,90 @@
+#include "sim/net/network.hpp"
+
+#include "common/assert.hpp"
+#include "sim/mobility/placement.hpp"
+
+namespace aedbmls::sim {
+namespace {
+
+std::unique_ptr<MobilityModel> make_mobility(const NetworkConfig& config,
+                                             Vec2 position,
+                                             CounterRng stream) {
+  MobilityKind kind = config.mobility;
+  if (config.static_nodes) kind = MobilityKind::kStatic;
+  switch (kind) {
+    case MobilityKind::kStatic:
+      return std::make_unique<ConstantPositionMobility>(position);
+    case MobilityKind::kRandomWalk: {
+      RandomWalkMobility::Config walk;
+      walk.width = config.area_width;
+      walk.height = config.area_height;
+      walk.min_speed = config.min_speed;
+      walk.max_speed = config.max_speed;
+      walk.epoch = config.mobility_epoch;
+      return std::make_unique<RandomWalkMobility>(walk, position, stream);
+    }
+    case MobilityKind::kRandomWaypoint: {
+      RandomWaypointMobility::Config waypoint;
+      waypoint.width = config.area_width;
+      waypoint.height = config.area_height;
+      // Waypoint travel requires strictly positive speed.
+      waypoint.min_speed = std::max(config.min_speed, 0.1);
+      waypoint.max_speed = std::max(config.max_speed, waypoint.min_speed);
+      return std::make_unique<RandomWaypointMobility>(waypoint, position,
+                                                      stream);
+    }
+    case MobilityKind::kGaussMarkov: {
+      GaussMarkovMobility::Config gm;
+      gm.width = config.area_width;
+      gm.height = config.area_height;
+      gm.mean_speed = 0.5 * (config.min_speed + config.max_speed);
+      gm.sigma_speed = 0.25 * (config.max_speed - config.min_speed);
+      return std::make_unique<GaussMarkovMobility>(gm, position, stream);
+    }
+  }
+  AEDB_UNREACHABLE("unknown mobility kind");
+}
+
+}  // namespace
+
+Network::Network(Simulator& simulator, const NetworkConfig& config)
+    : config_(config) {
+  AEDB_REQUIRE(config_.node_count >= 2, "network needs at least two nodes");
+  base_propagation_ =
+      std::make_unique<LogDistancePropagation>(config_.propagation);
+  const PropagationModel* propagation = base_propagation_.get();
+  if (config_.shadowing_sigma_db > 0.0) {
+    ShadowedPropagation::Config shadow;
+    shadow.sigma_db = config_.shadowing_sigma_db;
+    shadow.correlation_distance = config_.shadowing_correlation_m;
+    shadow.seed = hash_combine(config_.seed, config_.network_index);
+    shadowing_ =
+        std::make_unique<ShadowedPropagation>(*base_propagation_, shadow);
+    propagation = shadowing_.get();
+  }
+  channel_ = std::make_unique<WirelessChannel>(simulator, *propagation,
+                                               config_.model_propagation_delay);
+
+  // Placement and per-node mobility derive from (seed, network_index) only.
+  const CounterRng network_stream(config_.seed, {config_.network_index});
+  const auto positions =
+      uniform_positions(network_stream.child(0x905e0bULL), config_.node_count,
+                        config_.area_width, config_.area_height);
+
+  nodes_.reserve(config_.node_count);
+  for (std::size_t i = 0; i < config_.node_count; ++i) {
+    const auto id = static_cast<NodeId>(i);
+    auto mobility =
+        make_mobility(config_, positions[i], network_stream.child(1000 + i));
+
+    auto node = std::make_unique<Node>(simulator, id, std::move(mobility));
+    const std::uint64_t mac_seed = network_stream.child(2000 + i).key();
+    auto device = std::make_unique<NetDevice>(simulator, id, config_.phy,
+                                              config_.mac, mac_seed);
+    channel_->attach(&device->phy(), &node->mobility());
+    node->attach_device(std::move(device));
+    nodes_.push_back(std::move(node));
+  }
+}
+
+}  // namespace aedbmls::sim

@@ -1,0 +1,23 @@
+#include "sim/net/node.hpp"
+
+#include "common/assert.hpp"
+
+namespace aedbmls::sim {
+
+Node::Node(Simulator& simulator, NodeId id, std::unique_ptr<MobilityModel> mobility)
+    : simulator_(simulator), id_(id), mobility_(std::move(mobility)) {
+  AEDB_REQUIRE(mobility_ != nullptr, "node without mobility");
+}
+
+void Node::attach_device(std::unique_ptr<NetDevice> device) {
+  AEDB_REQUIRE(device_ == nullptr, "node already has a device");
+  device_ = std::move(device);
+  device_->set_rx_callback(
+      [this](const Frame& frame, double rx_dbm) { dispatch(frame, rx_dbm); });
+}
+
+void Node::dispatch(const Frame& frame, double rx_dbm) {
+  for (auto& app : apps_) app->on_receive(frame, rx_dbm);
+}
+
+}  // namespace aedbmls::sim

@@ -1,0 +1,115 @@
+#pragma once
+
+/// Half-duplex wireless PHY with SINR-based reception.
+///
+/// Reception model (an ns-3 `InterferenceHelper` reduced to a threshold
+/// decision): the PHY locks onto the first decodable frame that arrives
+/// while it is idle, accumulates the *peak* concurrent interference power
+/// seen during that frame, and at frame end delivers it iff
+/// `signal / (noise + peak interference) >= sinr_threshold`.  Signals that
+/// arrive while locked or transmitting contribute interference only.
+/// Starting a transmission aborts any reception in progress (half duplex).
+///
+/// Carrier sense: the medium is busy while the PHY transmits, is locked on a
+/// frame, or the total received power exceeds `cs_threshold_dbm` (so frames
+/// from just outside decode range still inhibit the MAC, as in 802.11).
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "common/types.hpp"
+#include "sim/core/simulator.hpp"
+#include "sim/net/frame.hpp"
+
+namespace aedbmls::sim {
+
+class WirelessChannel;
+
+/// Radio configuration shared by all nodes of a scenario (Table II-style).
+struct PhyParams {
+  double rx_sensitivity_dbm = -95.0;  ///< minimum decodable signal power
+  double cs_threshold_dbm = -99.0;    ///< carrier-sense (energy detect) level
+  double sinr_threshold_db = 6.0;     ///< min SINR for successful decode
+  double noise_floor_dbm = -101.0;    ///< thermal noise + noise figure
+  double interference_floor_dbm = -110.0;  ///< weaker signals are ignored
+  double bitrate_bps = 1e6;           ///< broadcast basic rate (802.11b)
+  Time preamble = microseconds(192);  ///< PHY preamble+header (long preamble)
+  double max_tx_power_dbm = 16.02;    ///< radio maximum (Table II default)
+  double min_tx_power_dbm = -60.0;    ///< radio minimum when adapting down
+};
+
+class WirelessPhy {
+ public:
+  /// Called on every successfully decoded frame with its rx power.
+  using RxCallback = std::function<void(const Frame&, double rx_dbm)>;
+  /// Called when a transmission this PHY started has finished.
+  using TxDoneCallback = std::function<void()>;
+
+  enum class State : std::uint8_t { kIdle, kRx, kTx };
+
+  WirelessPhy(Simulator& simulator, PhyParams params, NodeId node_id);
+
+  /// Wires the PHY to its channel (called by the network builder).
+  void set_channel(WirelessChannel* channel) noexcept { channel_ = channel; }
+
+  void set_receive_callback(RxCallback callback) { rx_callback_ = std::move(callback); }
+  void set_tx_done_callback(TxDoneCallback callback) { tx_done_ = std::move(callback); }
+
+  /// Airtime of a frame of `size_bytes` at the configured bitrate.
+  [[nodiscard]] Time frame_duration(std::uint32_t size_bytes) const noexcept;
+
+  /// Starts transmitting.  Power is clamped into the radio's range.
+  /// Any reception in progress is aborted.  Returns false (and does
+  /// nothing) if already transmitting.
+  bool start_tx(Frame frame, double tx_power_dbm);
+
+  /// Channel-side entry point: a signal begins arriving at this PHY.
+  void begin_rx(const Frame& frame, double rx_power_dbm, Time duration);
+
+  /// 802.11-style clear channel assessment.
+  [[nodiscard]] bool medium_busy() const noexcept;
+
+  [[nodiscard]] State state() const noexcept { return state_; }
+  [[nodiscard]] NodeId node_id() const noexcept { return node_id_; }
+  [[nodiscard]] const PhyParams& params() const noexcept { return params_; }
+
+  /// Counters for the statistics collectors and tests.
+  struct Counters {
+    std::uint64_t tx_frames = 0;        ///< transmissions started
+    std::uint64_t rx_ok = 0;            ///< frames decoded successfully
+    std::uint64_t rx_failed_sinr = 0;   ///< locked frames lost to interference
+    std::uint64_t rx_aborted_by_tx = 0; ///< receptions cut by our own tx
+    std::uint64_t rx_missed_busy = 0;   ///< decodable frames while not idle
+    std::uint64_t rx_below_sensitivity = 0;  ///< signals too weak to decode
+  };
+  [[nodiscard]] const Counters& counters() const noexcept { return counters_; }
+
+ private:
+  /// A signal currently on the air at this receiver.
+  struct Lock {
+    Frame frame;
+    double signal_mw = 0.0;
+    double peak_interference_mw = 0.0;
+    std::uint64_t token = 0;  ///< matches signal-end events to the lock
+  };
+
+  void signal_ended(double power_mw, std::uint64_t token);
+  void finish_tx();
+
+  Simulator& simulator_;
+  PhyParams params_;
+  NodeId node_id_;
+  WirelessChannel* channel_ = nullptr;
+  RxCallback rx_callback_;
+  TxDoneCallback tx_done_;
+
+  State state_ = State::kIdle;
+  double total_rx_mw_ = 0.0;     ///< sum of all ongoing signals at antenna
+  std::optional<Lock> lock_;     ///< frame being decoded (state kRx)
+  std::uint64_t next_token_ = 1;
+  std::uint64_t tx_sequence_ = 0;
+  Counters counters_;
+};
+
+}  // namespace aedbmls::sim

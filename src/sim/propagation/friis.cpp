@@ -1,0 +1,27 @@
+#include "sim/propagation/friis.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace aedbmls::sim {
+
+namespace {
+constexpr double kSpeedOfLight = 299792458.0;  // m/s
+}
+
+FriisPropagation::FriisPropagation() noexcept : FriisPropagation(Config{}) {}
+
+FriisPropagation::FriisPropagation(Config config) noexcept
+    : config_(config), lambda_(kSpeedOfLight / config.frequency_hz) {}
+
+double FriisPropagation::loss_db(double d) const noexcept {
+  const double eff = std::max(d, config_.min_distance);
+  return 20.0 * std::log10(4.0 * std::numbers::pi * eff / lambda_) +
+         config_.system_loss_db;
+}
+
+double FriisPropagation::rx_power_dbm(double tx_dbm, Vec2 a, Vec2 b) const {
+  return tx_dbm - loss_db(distance(a, b));
+}
+
+}  // namespace aedbmls::sim

@@ -1,0 +1,34 @@
+#pragma once
+
+/// Friis free-space propagation: L(d) = 20*log10(4*pi*d/lambda).
+/// Provided as an alternative to log-distance for sensitivity studies
+/// (free space is the optimistic bound; exponent-3 log-distance the
+/// realistic urban value).
+
+#include "sim/propagation/propagation_model.hpp"
+
+namespace aedbmls::sim {
+
+class FriisPropagation final : public PropagationModel {
+ public:
+  struct Config {
+    double frequency_hz = 2.4e9;  ///< carrier frequency
+    double system_loss_db = 0.0;  ///< additional fixed loss
+    double min_distance = 0.5;    ///< below this, loss is evaluated at min_distance
+  };
+
+  /// 2.4 GHz free-space defaults.
+  FriisPropagation() noexcept;
+  explicit FriisPropagation(Config config) noexcept;
+
+  [[nodiscard]] double rx_power_dbm(double tx_dbm, Vec2 a, Vec2 b) const override;
+
+  /// Loss in dB at distance `d` metres.
+  [[nodiscard]] double loss_db(double d) const noexcept;
+
+ private:
+  Config config_;
+  double lambda_;
+};
+
+}  // namespace aedbmls::sim

@@ -1,0 +1,75 @@
+#include "sim/propagation/shadowing.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace aedbmls::sim {
+namespace {
+
+/// Inverse normal CDF (Acklam's rational approximation), used to turn the
+/// uniform cell hash into a Gaussian fade without stateful generators.
+double inverse_normal_cdf(double p) {
+  // Coefficients for the central and tail regions.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= 1.0 - p_low) {
+    const double q = p - 0.5;
+    const double s = q * q;
+    return (((((a[0] * s + a[1]) * s + a[2]) * s + a[3]) * s + a[4]) * s + a[5]) *
+           q /
+           (((((b[0] * s + b[1]) * s + b[2]) * s + b[3]) * s + b[4]) * s + 1.0);
+  }
+  const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+}  // namespace
+
+ShadowedPropagation::ShadowedPropagation(const PropagationModel& base,
+                                         Config config) noexcept
+    : base_(base), config_(config) {}
+
+double ShadowedPropagation::shadow_db(Vec2 a, Vec2 b) const {
+  AEDB_REQUIRE(config_.correlation_distance > 0.0, "correlation distance <= 0");
+  const double cell = config_.correlation_distance;
+  const auto qx_a = static_cast<std::int64_t>(std::floor(a.x / cell));
+  const auto qy_a = static_cast<std::int64_t>(std::floor(a.y / cell));
+  const auto qx_b = static_cast<std::int64_t>(std::floor(b.x / cell));
+  const auto qy_b = static_cast<std::int64_t>(std::floor(b.y / cell));
+
+  // Order-independent cell-pair key: sort lexicographically.
+  std::uint64_t key_a = hash_combine(static_cast<std::uint64_t>(qx_a),
+                                     static_cast<std::uint64_t>(qy_a));
+  std::uint64_t key_b = hash_combine(static_cast<std::uint64_t>(qx_b),
+                                     static_cast<std::uint64_t>(qy_b));
+  if (key_a > key_b) std::swap(key_a, key_b);
+
+  const CounterRng field(config_.seed, {0x5AAD, key_a, key_b});
+  double u = field.uniform(0);
+  // Keep u inside (0,1) for the inverse CDF.
+  u = std::min(std::max(u, 1e-12), 1.0 - 1e-12);
+  return config_.sigma_db * inverse_normal_cdf(u);
+}
+
+double ShadowedPropagation::rx_power_dbm(double tx_dbm, Vec2 a, Vec2 b) const {
+  return base_.rx_power_dbm(tx_dbm, a, b) + shadow_db(a, b);
+}
+
+}  // namespace aedbmls::sim

@@ -1,0 +1,46 @@
+#pragma once
+
+/// Log-normal shadowing decorator: adds a spatially correlated, zero-mean
+/// Gaussian offset (in dB) on top of any base propagation model.
+///
+/// The shadow value is a deterministic function of the two endpoints'
+/// positions (hashed 2-D grid cells, order-independent), which preserves
+/// the library's reproducibility contract: re-evaluating a link at the same
+/// positions always sees the same fade, and links closer than the
+/// correlation distance share cells and hence fades — the standard
+/// Gudmundson-style correlated shadowing approximation without per-link
+/// state.
+///
+/// Not used by the paper's scenarios (ns-3's default has no shadowing);
+/// provided for robustness studies of the tuned configurations.
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "sim/propagation/propagation_model.hpp"
+
+namespace aedbmls::sim {
+
+class ShadowedPropagation final : public PropagationModel {
+ public:
+  struct Config {
+    double sigma_db = 4.0;               ///< shadowing standard deviation
+    double correlation_distance = 25.0;  ///< grid cell size in metres
+    std::uint64_t seed = 1;              ///< shadow field identity
+  };
+
+  /// `base` must outlive this decorator.
+  ShadowedPropagation(const PropagationModel& base, Config config) noexcept;
+
+  [[nodiscard]] double rx_power_dbm(double tx_dbm, Vec2 a, Vec2 b) const override;
+
+  /// The shadow offset (dB) this field applies between two positions.
+  /// Symmetric: shadow(a, b) == shadow(b, a).
+  [[nodiscard]] double shadow_db(Vec2 a, Vec2 b) const;
+
+ private:
+  const PropagationModel& base_;
+  Config config_;
+};
+
+}  // namespace aedbmls::sim

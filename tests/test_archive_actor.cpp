@@ -1,0 +1,105 @@
+#include "core/archive_actor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+
+namespace aedbmls::core {
+namespace {
+
+moo::Solution make(std::vector<double> objectives) {
+  moo::Solution s;
+  s.objectives = std::move(objectives);
+  s.x = {0.0};
+  s.evaluated = true;
+  return s;
+}
+
+TEST(ArchiveActor, InsertThenSnapshot) {
+  ArchiveActor actor(10, 4, 1);
+  actor.insert(make({1.0, 2.0}));
+  actor.insert(make({2.0, 1.0}));
+  const auto front = actor.snapshot();
+  EXPECT_EQ(front.size(), 2u);
+  actor.stop();
+  EXPECT_EQ(actor.counters().inserts_received, 2u);
+  EXPECT_EQ(actor.counters().inserts_accepted, 2u);
+}
+
+TEST(ArchiveActor, DominatedInsertsRejected) {
+  ArchiveActor actor(10, 4, 2);
+  actor.insert(make({1.0, 1.0}));
+  actor.insert(make({2.0, 2.0}));  // dominated
+  const auto front = actor.snapshot();
+  EXPECT_EQ(front.size(), 1u);
+  actor.stop();
+  EXPECT_EQ(actor.counters().inserts_accepted, 1u);
+}
+
+TEST(ArchiveActor, SampleFromEmptyReturnsEmpty) {
+  ArchiveActor actor(10, 4, 3);
+  EXPECT_TRUE(actor.sample(3).empty());
+}
+
+TEST(ArchiveActor, SampleReturnsRequestedCount) {
+  ArchiveActor actor(10, 4, 4);
+  actor.insert(make({1.0, 2.0}));
+  actor.insert(make({2.0, 1.0}));
+  const auto samples = actor.sample(7);
+  EXPECT_EQ(samples.size(), 7u);  // with replacement
+  actor.stop();
+  EXPECT_EQ(actor.counters().samples_served, 1u);
+}
+
+TEST(ArchiveActor, FifoOrderingMakesInsertVisibleToLaterSample) {
+  // A sample request sent after an insert from the same thread must observe
+  // that insert (mailbox FIFO) — the invariant MLS reinit relies on.
+  ArchiveActor actor(10, 4, 5);
+  for (int round = 0; round < 100; ++round) {
+    actor.insert(make({static_cast<double>(round), -static_cast<double>(round)}));
+    EXPECT_FALSE(actor.sample(1).empty()) << "round " << round;
+  }
+}
+
+TEST(ArchiveActor, ConcurrentProducersAllProcessed) {
+  ArchiveActor actor(100, 4, 6);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&actor, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Mutually non-dominated diagonal points.
+        const double v = t * kPerThread + i;
+        actor.insert(make({v, -v}));
+      }
+    });
+  }
+  for (auto& producer : producers) producer.join();
+  const auto front = actor.snapshot();
+  EXPECT_EQ(front.size(), 100u);  // capacity bound
+  actor.stop();
+  EXPECT_EQ(actor.counters().inserts_received,
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+TEST(ArchiveActor, StopIsIdempotentAndPostStopCallsSafe) {
+  ArchiveActor actor(10, 4, 7);
+  actor.insert(make({1.0, 1.0}));
+  actor.stop();
+  actor.stop();
+  actor.insert(make({0.5, 0.5}));      // dropped silently
+  EXPECT_TRUE(actor.sample(1).empty());  // mailbox closed
+  EXPECT_TRUE(actor.snapshot().empty());
+}
+
+TEST(ArchiveActor, DestructorStopsCleanly) {
+  auto actor = std::make_unique<ArchiveActor>(10, 4, 8);
+  actor->insert(make({1.0, 1.0}));
+  actor.reset();  // must join without hanging
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace aedbmls::core

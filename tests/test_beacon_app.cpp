@@ -1,0 +1,86 @@
+#include "sim/apps/beacon_app.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/core/simulator.hpp"
+#include "sim/net/network.hpp"
+
+namespace aedbmls::sim {
+namespace {
+
+/// Small static network with beaconing on every node.
+struct BeaconWorld {
+  explicit BeaconWorld(std::size_t nodes, Time start, Time horizon) {
+    NetworkConfig config;
+    config.node_count = nodes;
+    config.seed = 5;
+    config.static_nodes = true;
+    // Dense: everyone hears everyone.  The default radio decodes up to
+    // ~140 m, so a 70 m box (diagonal ~99 m) guarantees full connectivity.
+    config.area_width = 70.0;
+    config.area_height = 70.0;
+    simulator = std::make_unique<Simulator>(9);
+    network = std::make_unique<Network>(*simulator, config);
+    for (std::size_t i = 0; i < nodes; ++i) {
+      BeaconApp::Config beacon_config;
+      beacon_config.start_at = start;
+      apps.push_back(&network->node(i).add_app<BeaconApp>(
+          beacon_config, CounterRng(100 + i)));
+    }
+    simulator->run_until(horizon);
+  }
+
+  std::unique_ptr<Simulator> simulator;
+  std::unique_ptr<Network> network;
+  std::vector<BeaconApp*> apps;
+};
+
+TEST(BeaconApp, DiscoversAllNeighboursInDenseStaticNetwork) {
+  BeaconWorld world(5, seconds(1), seconds(5));
+  for (BeaconApp* app : world.apps) {
+    EXPECT_EQ(app->neighbor_table().size(), 4u);
+    EXPECT_GT(app->beacons_sent(), 0u);
+    EXPECT_GT(app->beacons_heard(), 0u);
+  }
+}
+
+TEST(BeaconApp, BeaconRateMatchesPeriod) {
+  BeaconWorld world(3, seconds(1), seconds(11));
+  for (BeaconApp* app : world.apps) {
+    // ~10 s of beaconing at 1 Hz (+jitter): 9..11 beacons.
+    EXPECT_GE(app->beacons_sent(), 9u);
+    EXPECT_LE(app->beacons_sent(), 11u);
+  }
+}
+
+TEST(BeaconApp, NoBeaconsBeforeStart) {
+  BeaconWorld world(3, seconds(27), seconds(26));
+  for (BeaconApp* app : world.apps) {
+    EXPECT_EQ(app->beacons_sent(), 0u);
+    EXPECT_EQ(app->neighbor_table().size(), 0u);
+  }
+}
+
+TEST(BeaconApp, RecordsPlausibleReceptionPower) {
+  BeaconWorld world(2, seconds(1), seconds(4));
+  const auto entries = world.apps[0]->neighbor_table().entries();
+  ASSERT_EQ(entries.size(), 1u);
+  // Beacons go out at 16.02 dBm; anywhere in a 200 m arena the reception
+  // must sit between the reference loss and the sensitivity floor.
+  EXPECT_LT(entries[0].last_rx_dbm, 16.02 - 46.0);
+  EXPECT_GT(entries[0].last_rx_dbm, -95.0);
+}
+
+TEST(BeaconApp, IgnoresDataFrames) {
+  BeaconWorld world(2, seconds(1), seconds(2));
+  Frame data;
+  data.kind = FrameKind::kData;
+  data.sender = 1;
+  data.size_bytes = 100;
+  const auto heard_before = world.apps[0]->beacons_heard();
+  world.apps[0]->on_receive(data, -50.0);
+  EXPECT_EQ(world.apps[0]->beacons_heard(), heard_before);
+}
+
+}  // namespace
+}  // namespace aedbmls::sim

@@ -1,0 +1,54 @@
+#include "moo/stats/boxplot.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aedbmls::moo {
+namespace {
+
+TEST(Boxplot, RendersAllSeriesLabels) {
+  const std::vector<BoxplotSeries> series{
+      {"CellDE", {0.70, 0.72, 0.74, 0.71, 0.73}},
+      {"NSGAII", {0.80, 0.82, 0.84, 0.81, 0.83}},
+      {"AEDB-MLS", {0.75, 0.77, 0.79, 0.76, 0.78}},
+  };
+  const std::string out = render_boxplots(series);
+  EXPECT_NE(out.find("CellDE"), std::string::npos);
+  EXPECT_NE(out.find("NSGAII"), std::string::npos);
+  EXPECT_NE(out.find("AEDB-MLS"), std::string::npos);
+  EXPECT_NE(out.find("med="), std::string::npos);
+}
+
+TEST(Boxplot, MedianMarkerPresent) {
+  const std::vector<BoxplotSeries> series{{"x", {1.0, 2.0, 3.0, 4.0, 5.0}}};
+  const std::string out = render_boxplots(series, 40);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find('['), std::string::npos);
+  EXPECT_NE(out.find(']'), std::string::npos);
+}
+
+TEST(Boxplot, OutliersMarked) {
+  const std::vector<BoxplotSeries> series{
+      {"x", {1.0, 1.1, 1.2, 1.3, 1.4, 50.0}}};
+  const std::string out = render_boxplots(series, 50);
+  EXPECT_NE(out.find('o'), std::string::npos);
+}
+
+TEST(Boxplot, ConstantSeriesDoesNotCrash) {
+  const std::vector<BoxplotSeries> series{{"x", {2.0, 2.0, 2.0}}};
+  const std::string out = render_boxplots(series, 30);
+  EXPECT_FALSE(out.empty());
+}
+
+TEST(Boxplot, SharedScaleAcrossSeries) {
+  // The scale footer shows the global [min, max].
+  const std::vector<BoxplotSeries> series{
+      {"low", {0.0, 0.1, 0.2}},
+      {"high", {9.8, 9.9, 10.0}},
+  };
+  const std::string out = render_boxplots(series, 40, 1);
+  EXPECT_NE(out.find("0.0"), std::string::npos);
+  EXPECT_NE(out.find("10.0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aedbmls::moo

@@ -1,0 +1,109 @@
+#include "par/communicator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+
+namespace aedbmls::par {
+namespace {
+
+TEST(Communicator, PointToPointDelivery) {
+  Communicator<int> world(2);
+  std::thread rank1([&world] {
+    const auto message = world.recv(1);
+    ASSERT_TRUE(message.has_value());
+    EXPECT_EQ(message->first, 0u);   // source rank
+    EXPECT_EQ(message->second, 42);  // payload
+  });
+  EXPECT_TRUE(world.send(0, 1, 42));
+  rank1.join();
+}
+
+TEST(Communicator, TryRecvNonBlocking) {
+  Communicator<int> world(2);
+  EXPECT_FALSE(world.try_recv(1).has_value());
+  world.send(0, 1, 5);
+  const auto message = world.try_recv(1);
+  ASSERT_TRUE(message.has_value());
+  EXPECT_EQ(message->second, 5);
+}
+
+TEST(Communicator, SelfSendAllowed) {
+  Communicator<int> world(1);
+  world.send(0, 0, 7);
+  EXPECT_EQ(world.recv(0)->second, 7);
+}
+
+TEST(Communicator, MessagesFromManyRanksAllArrive) {
+  constexpr std::size_t kRanks = 6;
+  Communicator<std::size_t> world(kRanks);
+  std::vector<std::thread> senders;
+  for (std::size_t r = 1; r < kRanks; ++r) {
+    senders.emplace_back([&world, r] {
+      for (int i = 0; i < 50; ++i) world.send(r, 0, r);
+    });
+  }
+  std::vector<std::size_t> counts(kRanks, 0);
+  for (int i = 0; i < 50 * static_cast<int>(kRanks - 1); ++i) {
+    const auto message = world.recv(0);
+    ASSERT_TRUE(message.has_value());
+    ++counts[message->second];
+  }
+  for (auto& sender : senders) sender.join();
+  for (std::size_t r = 1; r < kRanks; ++r) EXPECT_EQ(counts[r], 50u);
+}
+
+TEST(Communicator, BarrierSynchronisesRanks) {
+  constexpr std::size_t kRanks = 4;
+  Communicator<int> world(kRanks);
+  std::atomic<int> before{0};
+  std::atomic<int> after{0};
+  std::vector<std::thread> ranks;
+  for (std::size_t r = 0; r < kRanks; ++r) {
+    ranks.emplace_back([&, r] {
+      before.fetch_add(1);
+      world.barrier();
+      // Every rank must have incremented `before` by now.
+      EXPECT_EQ(before.load(), static_cast<int>(kRanks));
+      after.fetch_add(1);
+      (void)r;
+    });
+  }
+  for (auto& rank : ranks) rank.join();
+  EXPECT_EQ(after.load(), static_cast<int>(kRanks));
+}
+
+TEST(Communicator, AllgatherCollectsContributions) {
+  constexpr std::size_t kRanks = 4;
+  Communicator<int> world(kRanks);
+  std::vector<std::vector<int>> results(kRanks);
+  std::vector<std::thread> ranks;
+  for (std::size_t r = 0; r < kRanks; ++r) {
+    ranks.emplace_back([&, r] {
+      results[r] = world.allgather(r, static_cast<int>(r * 10));
+    });
+  }
+  for (auto& rank : ranks) rank.join();
+  for (std::size_t r = 0; r < kRanks; ++r) {
+    ASSERT_EQ(results[r].size(), kRanks);
+    for (std::size_t k = 0; k < kRanks; ++k) {
+      EXPECT_EQ(results[r][k], static_cast<int>(k * 10));
+    }
+  }
+}
+
+TEST(Communicator, ShutdownUnblocksReceivers) {
+  Communicator<int> world(2);
+  std::thread receiver([&world] {
+    EXPECT_FALSE(world.recv(1).has_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  world.shutdown();
+  receiver.join();
+  EXPECT_FALSE(world.send(0, 1, 1));
+}
+
+}  // namespace
+}  // namespace aedbmls::par

@@ -1,0 +1,68 @@
+#include "moo/core/dominance.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aedbmls::moo {
+namespace {
+
+Solution make(std::vector<double> objectives, double violation = 0.0) {
+  Solution s;
+  s.objectives = std::move(objectives);
+  s.constraint_violation = violation;
+  s.evaluated = true;
+  return s;
+}
+
+TEST(Dominance, ObjectiveComparisons) {
+  EXPECT_EQ(compare_objectives({1.0, 1.0}, {2.0, 2.0}), Dominance::kFirst);
+  EXPECT_EQ(compare_objectives({2.0, 2.0}, {1.0, 1.0}), Dominance::kSecond);
+  EXPECT_EQ(compare_objectives({1.0, 2.0}, {2.0, 1.0}), Dominance::kNone);
+  EXPECT_EQ(compare_objectives({1.0, 1.0}, {1.0, 1.0}), Dominance::kNone);
+}
+
+TEST(Dominance, WeakImprovementInOneObjectiveSuffices) {
+  EXPECT_EQ(compare_objectives({1.0, 1.0}, {1.0, 2.0}), Dominance::kFirst);
+  EXPECT_EQ(compare_objectives({1.0, 2.0}, {1.0, 1.0}), Dominance::kSecond);
+}
+
+TEST(Dominance, FeasibleBeatsInfeasible) {
+  const Solution feasible = make({100.0, 100.0}, 0.0);
+  const Solution infeasible = make({0.0, 0.0}, 0.5);
+  EXPECT_EQ(compare(feasible, infeasible), Dominance::kFirst);
+  EXPECT_TRUE(dominates(feasible, infeasible));
+}
+
+TEST(Dominance, LessViolationBeatsMore) {
+  const Solution a = make({5.0, 5.0}, 0.1);
+  const Solution b = make({0.0, 0.0}, 0.9);
+  EXPECT_EQ(compare(a, b), Dominance::kFirst);
+}
+
+TEST(Dominance, EqualViolationFallsBackToPareto) {
+  const Solution a = make({1.0, 1.0}, 0.5);
+  const Solution b = make({2.0, 2.0}, 0.5);
+  EXPECT_EQ(compare(a, b), Dominance::kNone);  // both infeasible, equal cv
+}
+
+TEST(Dominance, FeasiblePairUsesPareto) {
+  EXPECT_EQ(compare(make({1.0, 1.0}), make({2.0, 2.0})), Dominance::kFirst);
+  EXPECT_EQ(compare(make({1.0, 2.0}), make({2.0, 1.0})), Dominance::kNone);
+}
+
+TEST(Dominance, AntisymmetryAndIrreflexivity) {
+  const Solution a = make({1.0, 3.0});
+  const Solution b = make({2.0, 4.0});
+  EXPECT_TRUE(dominates(a, b));
+  EXPECT_FALSE(dominates(b, a));
+  EXPECT_FALSE(dominates(a, a));
+}
+
+TEST(Dominance, ThreeObjectives) {
+  EXPECT_EQ(compare(make({1.0, 2.0, 3.0}), make({1.0, 2.0, 4.0})),
+            Dominance::kFirst);
+  EXPECT_EQ(compare(make({1.0, 2.0, 3.0}), make({0.0, 3.0, 3.0})),
+            Dominance::kNone);
+}
+
+}  // namespace
+}  // namespace aedbmls::moo

@@ -1,0 +1,136 @@
+/// Tests of the bench experiment harness (scale presets, flag overrides,
+/// the algorithm factory, indicator-sample plumbing) — the code every
+/// table/figure bench routes through.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "experiment/runners.hpp"
+#include "experiment/scale.hpp"
+
+namespace aedbmls::expt {
+namespace {
+
+CliArgs args_of(std::initializer_list<const char*> argv) {
+  std::vector<const char*> full{"bench"};
+  full.insert(full.end(), argv.begin(), argv.end());
+  return CliArgs(static_cast<int>(full.size()), full.data());
+}
+
+TEST(Scale, SmokeIsTheDefault) {
+  ::unsetenv("AEDB_SCALE");
+  const Scale scale = resolve_scale(args_of({}));
+  EXPECT_EQ(scale.name, "smoke");
+  EXPECT_EQ(scale.networks, 3u);
+  EXPECT_EQ(scale.runs, 5u);
+  EXPECT_EQ(scale.densities, (std::vector<int>{100, 200, 300}));
+}
+
+TEST(Scale, PaperPresetMatchesSectionFive) {
+  const Scale scale = resolve_scale(args_of({"--scale=paper"}));
+  EXPECT_EQ(scale.networks, 10u);
+  EXPECT_EQ(scale.runs, 30u);
+  EXPECT_EQ(scale.evals, 24000u);
+  EXPECT_EQ(scale.mls_populations, 8u);
+  EXPECT_EQ(scale.mls_threads, 12u);
+  EXPECT_EQ(scale.mls_evals_per_thread(), 250u);  // 24000 / 96
+}
+
+TEST(Scale, EnvironmentVariableSelectsPreset) {
+  ::setenv("AEDB_SCALE", "small", 1);
+  const Scale scale = resolve_scale(args_of({}));
+  EXPECT_EQ(scale.name, "small");
+  EXPECT_EQ(scale.runs, 10u);
+  ::unsetenv("AEDB_SCALE");
+}
+
+TEST(Scale, FlagsOverridePreset) {
+  const Scale scale = resolve_scale(
+      args_of({"--runs=7", "--evals=99", "--networks=2", "--densities=100,300",
+               "--seed=5"}));
+  EXPECT_EQ(scale.runs, 7u);
+  EXPECT_EQ(scale.evals, 99u);
+  EXPECT_EQ(scale.networks, 2u);
+  EXPECT_EQ(scale.densities, (std::vector<int>{100, 300}));
+  EXPECT_EQ(scale.seed, 5u);
+}
+
+TEST(Scale, UnknownNameFallsBackToSmoke) {
+  const Scale scale = resolve_scale(args_of({"--scale=bogus"}));
+  EXPECT_EQ(scale.name, "smoke");
+}
+
+TEST(Factory, ProblemConfigSharesSeedAcrossAlgorithms) {
+  const Scale scale = resolve_scale(args_of({}));
+  const auto a = problem_config(100, scale);
+  const auto b = problem_config(100, scale);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.network_count, scale.networks);
+  EXPECT_EQ(problem_config(300, scale).devices_per_km2, 300);
+}
+
+TEST(Factory, AllAlgorithmNamesConstruct) {
+  const Scale scale = resolve_scale(args_of({"--evals=40"}));
+  for (const char* name :
+       {"NSGAII", "CellDE", "AEDB-MLS", "AEDB-MLS-sym", "AEDB-MLS-unguided",
+        "AEDB-MLS-pervar", "CellDE+MLS", "Random"}) {
+    const auto algorithm = make_algorithm(name, scale);
+    ASSERT_NE(algorithm, nullptr) << name;
+  }
+  EXPECT_EQ(make_algorithm("NSGAII", scale)->name(), "NSGAII");
+  EXPECT_EQ(make_algorithm("AEDB-MLS", scale)->name(), "AEDB-MLS");
+}
+
+TEST(Factory, PaperAlgorithmListMatchesSectionSix) {
+  EXPECT_EQ(paper_algorithms(),
+            (std::vector<std::string>{"CellDE", "NSGAII", "AEDB-MLS"}));
+}
+
+TEST(DominanceCount, CountsDominatedTargets) {
+  auto make = [](double f1, double f2) {
+    moo::Solution s;
+    s.objectives = {f1, f2};
+    s.evaluated = true;
+    return s;
+  };
+  const std::vector<moo::Solution> strong{make(0.0, 0.0)};
+  const std::vector<moo::Solution> weak{make(1.0, 1.0), make(2.0, 2.0),
+                                        make(-1.0, 5.0)};
+  EXPECT_EQ(dominance_count(strong, weak), 2u);  // (-1,5) not dominated
+  EXPECT_EQ(dominance_count(weak, strong), 0u);
+}
+
+TEST(Extract, FiltersByAlgorithmAndDensity) {
+  std::vector<IndicatorSample> samples;
+  for (int density : {100, 200}) {
+    for (int run = 0; run < 3; ++run) {
+      IndicatorSample s;
+      s.algorithm = run % 2 == 0 ? "A" : "B";
+      s.density = density;
+      s.hypervolume = density + run;
+      samples.push_back(s);
+    }
+  }
+  const auto a100 =
+      extract(samples, "A", 100, &IndicatorSample::hypervolume);
+  EXPECT_EQ(a100.size(), 2u);  // runs 0 and 2
+  EXPECT_DOUBLE_EQ(a100[0], 100.0);
+  EXPECT_DOUBLE_EQ(a100[1], 102.0);
+  EXPECT_TRUE(extract(samples, "C", 100, &IndicatorSample::hypervolume).empty());
+}
+
+TEST(Runner, TinyRepeatRunProducesSeededRecords) {
+  Scale scale = resolve_scale(args_of({"--runs=2", "--evals=16", "--networks=1"}));
+  scale.mls_populations = 1;
+  scale.mls_threads = 2;
+  const auto records = run_repeats("AEDB-MLS", 100, scale, nullptr);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_NE(records[0].run_seed, records[1].run_seed);
+  EXPECT_EQ(records[0].algorithm, "AEDB-MLS");
+  EXPECT_EQ(records[0].density, 100);
+  EXPECT_GE(records[0].evaluations, 16u);
+}
+
+}  // namespace
+}  // namespace aedbmls::expt

@@ -1,0 +1,100 @@
+#include "sim/mobility/gauss_markov.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace aedbmls::sim {
+namespace {
+
+GaussMarkovMobility::Config default_config() {
+  GaussMarkovMobility::Config config;
+  config.width = 500.0;
+  config.height = 500.0;
+  config.alpha = 0.85;
+  config.mean_speed = 1.0;
+  config.sigma_speed = 0.5;
+  return config;
+}
+
+TEST(GaussMarkov, StaysInsideArena) {
+  const GaussMarkovMobility model(default_config(), {250.0, 250.0},
+                                  CounterRng(1));
+  for (int t = 0; t <= 2000; ++t) {
+    const Vec2 p = model.position(seconds(t));
+    EXPECT_GE(p.x, 0.0) << "t=" << t;
+    EXPECT_LE(p.x, 500.0) << "t=" << t;
+    EXPECT_GE(p.y, 0.0) << "t=" << t;
+    EXPECT_LE(p.y, 500.0) << "t=" << t;
+  }
+}
+
+TEST(GaussMarkov, InitialPositionRespected) {
+  const GaussMarkovMobility model(default_config(), {100.0, 200.0},
+                                  CounterRng(2));
+  EXPECT_DOUBLE_EQ(model.position(Time{}).x, 100.0);
+  EXPECT_DOUBLE_EQ(model.position(Time{}).y, 200.0);
+}
+
+TEST(GaussMarkov, DeterministicAcrossInstances) {
+  const GaussMarkovMobility a(default_config(), {250.0, 250.0}, CounterRng(3));
+  const GaussMarkovMobility b(default_config(), {250.0, 250.0}, CounterRng(3));
+  for (int t = 0; t < 300; t += 17) {
+    EXPECT_DOUBLE_EQ(a.position(seconds(t)).x, b.position(seconds(t)).x);
+    EXPECT_DOUBLE_EQ(a.position(seconds(t)).y, b.position(seconds(t)).y);
+  }
+}
+
+TEST(GaussMarkov, RewindMatchesFreshInstance) {
+  const GaussMarkovMobility model(default_config(), {250.0, 250.0},
+                                  CounterRng(4));
+  (void)model.position(seconds(500));
+  const Vec2 early = model.position(seconds(3));
+  const GaussMarkovMobility fresh(default_config(), {250.0, 250.0},
+                                  CounterRng(4));
+  EXPECT_DOUBLE_EQ(early.x, fresh.position(seconds(3)).x);
+}
+
+TEST(GaussMarkov, VelocityIsSmootherThanRandom) {
+  // Consecutive-step velocities correlate strongly at alpha = 0.85.
+  const GaussMarkovMobility model(default_config(), {250.0, 250.0},
+                                  CounterRng(5));
+  double dot_sum = 0.0;
+  int count = 0;
+  for (int t = 10; t < 500; ++t) {
+    const Vec2 v0 = model.velocity(seconds(t));
+    const Vec2 v1 = model.velocity(seconds(t + 1));
+    const double n0 = v0.norm();
+    const double n1 = v1.norm();
+    if (n0 > 1e-6 && n1 > 1e-6) {
+      dot_sum += v0.dot(v1) / (n0 * n1);
+      ++count;
+    }
+  }
+  EXPECT_GT(dot_sum / count, 0.5);  // mean heading correlation
+}
+
+TEST(GaussMarkov, MeanSpeedNearConfigured) {
+  const GaussMarkovMobility model(default_config(), {250.0, 250.0},
+                                  CounterRng(6));
+  RunningStats speed;
+  for (int t = 50; t < 3000; t += 1) {
+    speed.add(model.velocity(seconds(t)).norm());
+  }
+  EXPECT_NEAR(speed.mean(), 1.0, 0.5);
+}
+
+TEST(GaussMarkov, HighAlphaHoldsCourse) {
+  GaussMarkovMobility::Config config = default_config();
+  config.alpha = 1.0;  // no drift, no noise: constant velocity + reflections
+  config.sigma_speed = 0.0;
+  const GaussMarkovMobility model(config, {250.0, 250.0}, CounterRng(7));
+  const double s0 = model.velocity(seconds(1)).norm();
+  const double s1 = model.velocity(seconds(100)).norm();
+  EXPECT_NEAR(s0, s1, 1e-9);
+}
+
+}  // namespace
+}  // namespace aedbmls::sim

@@ -1,0 +1,114 @@
+#include "moo/indicators/hypervolume.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace aedbmls::moo {
+namespace {
+
+TEST(Hypervolume, SinglePoint2d) {
+  // Box from (0.25, 0.25) to ref (1,1): 0.75^2.
+  EXPECT_NEAR(hypervolume({{0.25, 0.25}}, {1.0, 1.0}), 0.5625, 1e-12);
+}
+
+TEST(Hypervolume, TwoDisjointStaircasePoints) {
+  // Points (0.2,0.6) and (0.6,0.2) vs ref (1,1):
+  // union = 0.8*0.4 + 0.4*0.8 - 0.4*0.4 = 0.48.
+  EXPECT_NEAR(hypervolume({{0.2, 0.6}, {0.6, 0.2}}, {1.0, 1.0}), 0.48, 1e-12);
+}
+
+TEST(Hypervolume, DominatedPointAddsNothing) {
+  const double base = hypervolume({{0.2, 0.2}}, {1.0, 1.0});
+  EXPECT_NEAR(hypervolume({{0.2, 0.2}, {0.5, 0.5}}, {1.0, 1.0}), base, 1e-12);
+}
+
+TEST(Hypervolume, PointOutsideReferenceIgnored) {
+  EXPECT_NEAR(hypervolume({{1.5, 0.1}}, {1.0, 1.0}), 0.0, 1e-12);
+  EXPECT_NEAR(hypervolume({{1.5, 0.1}, {0.5, 0.5}}, {1.0, 1.0}), 0.25, 1e-12);
+}
+
+TEST(Hypervolume, EmptySetIsZero) {
+  EXPECT_DOUBLE_EQ(hypervolume(std::vector<std::vector<double>>{}, {1.0, 1.0}),
+                   0.0);
+}
+
+TEST(Hypervolume, SinglePoint3d) {
+  EXPECT_NEAR(hypervolume({{0.5, 0.5, 0.5}}, {1.0, 1.0, 1.0}), 0.125, 1e-12);
+}
+
+TEST(Hypervolume, TwoPoints3dUnion) {
+  // (0,0.5,0.5) box = 1*0.5*0.5 = 0.25 ; (0.5,0,0.5) box = 0.25;
+  // intersection = 0.5*0.5*0.5 = 0.125; union = 0.375.
+  EXPECT_NEAR(hypervolume({{0.0, 0.5, 0.5}, {0.5, 0.0, 0.5}}, {1.0, 1.0, 1.0}),
+              0.375, 1e-12);
+}
+
+TEST(Hypervolume, ThreePoints3dInclusionExclusion) {
+  // Symmetric triple; closed form via inclusion-exclusion:
+  // each box 0.5*0.5*1 = 0.25 (etc.); pairwise 0.125; triple 0.125.
+  const std::vector<std::vector<double>> points{
+      {0.0, 0.5, 0.5}, {0.5, 0.0, 0.5}, {0.5, 0.5, 0.0}};
+  const double expected = 3 * 0.25 - 3 * 0.125 + 0.125;
+  EXPECT_NEAR(hypervolume(points, {1.0, 1.0, 1.0}), expected, 1e-12);
+}
+
+TEST(Hypervolume, LinearFrontApproachesHalf) {
+  // Dense staircase on f0 + f1 = 1 converges to area 0.5 under ref (1,1).
+  std::vector<std::vector<double>> points;
+  constexpr int kN = 200;
+  for (int i = 0; i <= kN; ++i) {
+    const double x = static_cast<double>(i) / kN;
+    points.push_back({x, 1.0 - x});
+  }
+  EXPECT_NEAR(hypervolume(points, {1.0, 1.0}), 0.5, 0.01);
+}
+
+TEST(Hypervolume, SphereFront3dApproachesKnownValue) {
+  // DTLZ2 front: unit sphere octant, HV against (1,1,1) is
+  // 1 - pi/6 + ... exact value: 1 - (4/3 pi / 8) = 1 - pi/6 ~ 0.476401.
+  std::vector<std::vector<double>> points;
+  constexpr int kSteps = 40;
+  for (int i = 0; i <= kSteps; ++i) {
+    for (int j = 0; j <= kSteps; ++j) {
+      const double theta = 0.5 * M_PI * i / kSteps;
+      const double phi = 0.5 * M_PI * j / kSteps;
+      points.push_back({std::cos(theta) * std::cos(phi),
+                        std::cos(theta) * std::sin(phi), std::sin(theta)});
+    }
+  }
+  EXPECT_NEAR(hypervolume(points, {1.0, 1.0, 1.0}), 1.0 - M_PI / 6.0, 0.02);
+}
+
+TEST(Hypervolume, MonotoneInImprovement) {
+  const double worse = hypervolume({{0.5, 0.5}}, {1.0, 1.0});
+  const double better = hypervolume({{0.4, 0.5}}, {1.0, 1.0});
+  EXPECT_GT(better, worse);
+}
+
+TEST(Hypervolume, SolutionOverloadMatchesPointOverload) {
+  Solution s;
+  s.objectives = {0.25, 0.25};
+  s.evaluated = true;
+  EXPECT_DOUBLE_EQ(hypervolume(std::vector<Solution>{s}, {1.0, 1.0}),
+                   hypervolume({{0.25, 0.25}}, {1.0, 1.0}));
+}
+
+TEST(Hypervolume, UnitReferenceHelper) {
+  const auto ref = unit_reference(3, 0.01);
+  ASSERT_EQ(ref.size(), 3u);
+  EXPECT_DOUBLE_EQ(ref[0], 1.01);
+}
+
+TEST(Hypervolume, FourObjectives) {
+  EXPECT_NEAR(hypervolume({{0.5, 0.5, 0.5, 0.5}}, {1.0, 1.0, 1.0, 1.0}), 0.0625,
+              1e-12);
+  // vol(p2) = 0.75*0.25*0.5*0.5; overlap = 0.5*0.25*0.5*0.5.
+  EXPECT_NEAR(
+      hypervolume({{0.5, 0.5, 0.5, 0.5}, {0.25, 0.75, 0.5, 0.5}},
+                  {1.0, 1.0, 1.0, 1.0}),
+      0.0625 + 0.046875 - 0.03125, 1e-12);
+}
+
+}  // namespace
+}  // namespace aedbmls::moo

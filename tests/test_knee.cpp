@@ -1,0 +1,71 @@
+#include "moo/analysis/knee.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace aedbmls::moo {
+namespace {
+
+Solution make(std::vector<double> objectives) {
+  Solution s;
+  s.objectives = std::move(objectives);
+  s.evaluated = true;
+  return s;
+}
+
+TEST(Knee, SinglePointIsTheKnee) {
+  const std::vector<Solution> front{make({1.0, 2.0})};
+  EXPECT_EQ(knee_point(front), 0u);
+  EXPECT_EQ(closest_to_ideal(front), 0u);
+}
+
+TEST(Knee, ConvexBulgeSelected) {
+  // Extremes at (0,1) and (1,0); point (0.15,0.15) bulges far below the
+  // extreme line, the shallow point (0.4,0.55) does not.
+  const std::vector<Solution> front{make({0.0, 1.0}), make({0.15, 0.15}),
+                                    make({0.4, 0.55}), make({1.0, 0.0})};
+  EXPECT_EQ(knee_point(front), 1u);
+}
+
+TEST(Knee, LinearFrontFallsBackToCompromise) {
+  std::vector<Solution> front;
+  for (int i = 0; i <= 10; ++i) {
+    const double x = i / 10.0;
+    front.push_back(make({x, 1.0 - x}));
+  }
+  const std::size_t pick = knee_point(front);
+  // Compromise point of a linear front is its middle.
+  EXPECT_NEAR(front[pick].objectives[0], 0.5, 0.1001);
+}
+
+TEST(Knee, ClosestToIdealOnAsymmetricScales) {
+  // Second objective spans 0..1000: normalisation must neutralise it.
+  const std::vector<Solution> front{make({0.0, 1000.0}), make({0.5, 100.0}),
+                                    make({1.0, 0.0})};
+  const std::size_t pick = closest_to_ideal(front);
+  EXPECT_EQ(pick, 1u);  // (0.5, 0.1) normalised is nearest to (0,0)
+}
+
+TEST(Knee, ThreeObjectiveKnee) {
+  std::vector<Solution> front{make({1.0, 0.0, 0.0}), make({0.0, 1.0, 0.0}),
+                              make({0.0, 0.0, 1.0}),
+                              make({0.15, 0.15, 0.15})};
+  EXPECT_EQ(knee_point(front), 3u);
+}
+
+TEST(Knee, KneeBeatsShallowTradeoffs) {
+  // A strongly convex front: knee around the maximum-curvature region.
+  std::vector<Solution> front;
+  for (int i = 0; i <= 20; ++i) {
+    const double x = i / 20.0;
+    front.push_back(make({x, (1.0 - std::sqrt(x)) * (1.0 - std::sqrt(x))}));
+  }
+  const std::size_t pick = knee_point(front);
+  const double x = front[pick].objectives[0];
+  EXPECT_GT(x, 0.05);
+  EXPECT_LT(x, 0.6);
+}
+
+}  // namespace
+}  // namespace aedbmls::moo

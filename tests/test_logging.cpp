@@ -1,0 +1,47 @@
+#include "common/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aedbmls {
+namespace {
+
+TEST(Logging, LevelRoundTrip) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(original);
+}
+
+TEST(Logging, SuppressedLevelsDoNotEmit) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kError);
+  // No crash / no assertion on suppressed paths; formatting is skipped.
+  log_debug("invisible ", 42);
+  log_info("invisible ", 3.14);
+  log_warn("invisible");
+  set_log_level(original);
+}
+
+TEST(Logging, EmitsAtActiveLevel) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kDebug);
+  log_error("error line ", 1);
+  log_warn("warn line ", 2u);
+  log_info("info line ", 3.0);
+  log_debug("debug line ", 'x');
+  set_log_level(original);
+  SUCCEED();  // reaching here without crash is the contract
+}
+
+TEST(Logging, VariadicFormattingComposesTypes) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kDebug);
+  log_debug("mixed: ", 1, " ", 2.5, " ", "str", " ", true);
+  set_log_level(original);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace aedbmls

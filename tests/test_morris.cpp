@@ -1,0 +1,108 @@
+#include "moo/sa/morris.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace aedbmls::moo {
+namespace {
+
+TEST(Morris, LinearModelEffectsMatchSlopes) {
+  // y = 3*x0 - 2*x1 + 0*x2 over the unit cube: EE_i (unit-scaled) = w_i.
+  const auto model = [](const std::vector<double>& x) {
+    return 3.0 * x[0] - 2.0 * x[1];
+  };
+  MorrisConfig config;
+  config.trajectories = 20;
+  const Morris morris(config);
+  const MorrisIndices r = morris.analyze_scalar(
+      {{0.0, 1.0}, {0.0, 1.0}, {0.0, 1.0}}, model);
+  EXPECT_NEAR(r.mu[0], 3.0, 1e-9);
+  EXPECT_NEAR(r.mu[1], -2.0, 1e-9);
+  EXPECT_NEAR(r.mu[2], 0.0, 1e-9);
+  EXPECT_NEAR(r.mu_star[0], 3.0, 1e-9);
+  EXPECT_NEAR(r.mu_star[1], 2.0, 1e-9);
+  // Linear model: no interaction => sigma ~ 0.
+  EXPECT_NEAR(r.sigma[0], 0.0, 1e-9);
+  EXPECT_NEAR(r.sigma[1], 0.0, 1e-9);
+}
+
+TEST(Morris, DomainScalingHandled) {
+  // y = x0 with x0 in [0, 10]: unit-scaled effect = 10.
+  const auto model = [](const std::vector<double>& x) { return x[0]; };
+  MorrisConfig config;
+  config.trajectories = 5;
+  const Morris morris(config);
+  const MorrisIndices r = morris.analyze_scalar({{0.0, 10.0}}, model);
+  EXPECT_NEAR(r.mu_star[0], 10.0, 1e-9);
+}
+
+TEST(Morris, InteractionShowsUpInSigma) {
+  // y = x0 * x1: effect of x0 depends on x1 => sigma > 0 for both.
+  const auto model = [](const std::vector<double>& x) { return x[0] * x[1]; };
+  MorrisConfig config;
+  config.trajectories = 30;
+  const Morris morris(config);
+  const MorrisIndices r =
+      morris.analyze_scalar({{0.0, 1.0}, {0.0, 1.0}}, model);
+  EXPECT_GT(r.sigma[0], 0.05);
+  EXPECT_GT(r.sigma[1], 0.05);
+}
+
+TEST(Morris, RankingSeparatesStrongFromWeak) {
+  const auto model = [](const std::vector<double>& x) {
+    return 10.0 * x[0] + 0.1 * x[1] + std::sin(x[2]);
+  };
+  MorrisConfig config;
+  config.trajectories = 15;
+  const Morris morris(config);
+  const MorrisIndices r = morris.analyze_scalar(
+      {{0.0, 1.0}, {0.0, 1.0}, {0.0, 1.0}}, model);
+  EXPECT_GT(r.mu_star[0], r.mu_star[1]);
+  EXPECT_GT(r.mu_star[0], r.mu_star[2]);
+}
+
+TEST(Morris, EvaluationCountIsTrajectoriesTimesKPlusOne) {
+  const Morris::Model model = [](const std::vector<double>& x) {
+    return std::vector<double>{x[0], -x[0]};
+  };
+  MorrisConfig config;
+  config.trajectories = 7;
+  const Morris morris(config);
+  const MorrisResult r = morris.analyze({{0.0, 1.0}, {0.0, 1.0}}, model, 2);
+  EXPECT_EQ(r.evaluations, 7u * 3u);
+  ASSERT_EQ(r.outputs.size(), 2u);
+  EXPECT_NEAR(r.outputs[0].mu[0], 1.0, 1e-9);
+  EXPECT_NEAR(r.outputs[1].mu[0], -1.0, 1e-9);
+}
+
+TEST(Morris, DeterministicGivenSeed) {
+  const auto model = [](const std::vector<double>& x) {
+    return x[0] * x[0] + x[1];
+  };
+  MorrisConfig config;
+  config.seed = 42;
+  const Morris morris(config);
+  const auto a = morris.analyze_scalar({{0.0, 1.0}, {0.0, 1.0}}, model);
+  const auto b = morris.analyze_scalar({{0.0, 1.0}, {0.0, 1.0}}, model);
+  EXPECT_DOUBLE_EQ(a.mu_star[0], b.mu_star[0]);
+  EXPECT_DOUBLE_EQ(a.sigma[1], b.sigma[1]);
+}
+
+TEST(Morris, ParallelPoolMatchesSerial) {
+  const auto model = [](const std::vector<double>& x) {
+    return x[0] + 2.0 * x[1];
+  };
+  MorrisConfig config;
+  config.trajectories = 12;
+  const Morris morris(config);
+  par::ThreadPool pool(2);
+  const auto serial = morris.analyze_scalar({{0.0, 1.0}, {0.0, 1.0}}, model);
+  const auto parallel =
+      morris.analyze_scalar({{0.0, 1.0}, {0.0, 1.0}}, model, &pool);
+  EXPECT_DOUBLE_EQ(serial.mu_star[0], parallel.mu_star[0]);
+  EXPECT_DOUBLE_EQ(serial.mu[1], parallel.mu[1]);
+}
+
+}  // namespace
+}  // namespace aedbmls::moo

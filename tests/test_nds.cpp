@@ -1,0 +1,151 @@
+#include "moo/core/nds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "moo/core/dominance.hpp"
+
+namespace aedbmls::moo {
+namespace {
+
+Solution make(std::vector<double> objectives, double violation = 0.0) {
+  Solution s;
+  s.objectives = std::move(objectives);
+  s.constraint_violation = violation;
+  s.evaluated = true;
+  return s;
+}
+
+TEST(Nds, SingleFrontWhenAllNonDominated) {
+  const std::vector<Solution> population{make({1.0, 4.0}), make({2.0, 3.0}),
+                                         make({3.0, 2.0}), make({4.0, 1.0})};
+  const auto fronts = fast_non_dominated_sort(population);
+  ASSERT_EQ(fronts.size(), 1u);
+  EXPECT_EQ(fronts[0].size(), 4u);
+}
+
+TEST(Nds, LayersFormCorrectly) {
+  const std::vector<Solution> population{
+      make({1.0, 1.0}),  // front 0 (dominates everything)
+      make({2.0, 3.0}), make({3.0, 2.0}),  // front 1
+      make({4.0, 4.0}),  // front 2
+  };
+  const auto fronts = fast_non_dominated_sort(population);
+  ASSERT_EQ(fronts.size(), 3u);
+  EXPECT_EQ(fronts[0], (std::vector<std::size_t>{0}));
+  EXPECT_EQ(fronts[1].size(), 2u);
+  EXPECT_EQ(fronts[2], (std::vector<std::size_t>{3}));
+}
+
+TEST(Nds, InfeasibleSolutionsSinkToLaterFronts) {
+  const std::vector<Solution> population{
+      make({9.0, 9.0}, 0.0),   // feasible: front 0
+      make({0.0, 0.0}, 0.2),   // infeasible: dominated by all feasible
+      make({0.0, 0.0}, 0.5),   // worse violation: last
+  };
+  const auto fronts = fast_non_dominated_sort(population);
+  ASSERT_EQ(fronts.size(), 3u);
+  EXPECT_EQ(fronts[0], (std::vector<std::size_t>{0}));
+  EXPECT_EQ(fronts[1], (std::vector<std::size_t>{1}));
+  EXPECT_EQ(fronts[2], (std::vector<std::size_t>{2}));
+}
+
+TEST(Nds, EveryMemberAppearsExactlyOnce) {
+  std::vector<Solution> population;
+  std::uint64_t state = 321;
+  for (int i = 0; i < 60; ++i) {
+    auto draw = [&state] {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      return static_cast<double>(state >> 40);
+    };
+    population.push_back(make({draw(), draw(), draw()}));
+  }
+  const auto fronts = fast_non_dominated_sort(population);
+  std::vector<int> seen(population.size(), 0);
+  for (const auto& front : fronts) {
+    for (const std::size_t i : front) ++seen[i];
+  }
+  for (const int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(Nds, NoMemberDominatedWithinItsFront) {
+  std::vector<Solution> population;
+  std::uint64_t state = 99;
+  for (int i = 0; i < 40; ++i) {
+    auto draw = [&state] {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      return static_cast<double>(state >> 40);
+    };
+    population.push_back(make({draw(), draw()}));
+  }
+  const auto fronts = fast_non_dominated_sort(population);
+  for (const auto& front : fronts) {
+    for (const std::size_t p : front) {
+      for (const std::size_t q : front) {
+        EXPECT_FALSE(dominates(population[p], population[q]))
+            << p << " dominates " << q << " in the same front";
+      }
+    }
+  }
+}
+
+TEST(Nds, RanksAlignWithFronts) {
+  const std::vector<Solution> population{make({1.0, 1.0}), make({2.0, 2.0})};
+  const auto fronts = fast_non_dominated_sort(population);
+  const auto ranks = ranks_from_fronts(fronts, population.size());
+  EXPECT_EQ(ranks[0], 0u);
+  EXPECT_EQ(ranks[1], 1u);
+}
+
+TEST(Crowding, BoundariesGetInfinity) {
+  const std::vector<Solution> population{make({1.0, 4.0}), make({2.0, 3.0}),
+                                         make({3.0, 2.0}), make({4.0, 1.0})};
+  const std::vector<std::size_t> front{0, 1, 2, 3};
+  const auto crowding = crowding_distances(population, front);
+  EXPECT_TRUE(std::isinf(crowding[0]));
+  EXPECT_TRUE(std::isinf(crowding[3]));
+  EXPECT_FALSE(std::isinf(crowding[1]));
+  EXPECT_FALSE(std::isinf(crowding[2]));
+}
+
+TEST(Crowding, EquallySpacedPointsEquallyCrowded) {
+  const std::vector<Solution> population{make({0.0, 4.0}), make({1.0, 3.0}),
+                                         make({2.0, 2.0}), make({3.0, 1.0}),
+                                         make({4.0, 0.0})};
+  const std::vector<std::size_t> front{0, 1, 2, 3, 4};
+  const auto crowding = crowding_distances(population, front);
+  EXPECT_DOUBLE_EQ(crowding[1], crowding[2]);
+  EXPECT_DOUBLE_EQ(crowding[2], crowding[3]);
+}
+
+TEST(Crowding, IsolatedPointMoreCrowdedThanClusterMember) {
+  // Points: dense cluster near x=0 and one isolated interior point.
+  const std::vector<Solution> population{
+      make({0.00, 1.00}), make({0.01, 0.99}), make({0.02, 0.98}),
+      make({0.50, 0.50}),  // isolated
+      make({1.00, 0.00})};
+  const std::vector<std::size_t> front{0, 1, 2, 3, 4};
+  const auto crowding = crowding_distances(population, front);
+  EXPECT_GT(crowding[3], crowding[1]);
+}
+
+TEST(Crowding, TinyFrontsAllInfinite) {
+  const std::vector<Solution> population{make({1.0, 2.0}), make({2.0, 1.0})};
+  const auto crowding = crowding_distances(population, {0, 1});
+  EXPECT_TRUE(std::isinf(crowding[0]));
+  EXPECT_TRUE(std::isinf(crowding[1]));
+}
+
+TEST(NonDominatedSubset, FiltersDominatedAndKeepsRest) {
+  const std::vector<Solution> population{make({1.0, 4.0}), make({2.0, 2.0}),
+                                         make({3.0, 3.0}), make({4.0, 1.0})};
+  const auto front = non_dominated_subset(population);
+  ASSERT_EQ(front.size(), 3u);  // {3,3} dominated by {2,2}
+  for (const Solution& s : front) {
+    EXPECT_FALSE(s.objectives == (std::vector<double>{3.0, 3.0}));
+  }
+}
+
+}  // namespace
+}  // namespace aedbmls::moo

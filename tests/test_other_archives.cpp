@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "moo/core/crowding_archive.hpp"
+#include "moo/core/dominance.hpp"
+#include "moo/core/unbounded_archive.hpp"
+
+namespace aedbmls::moo {
+namespace {
+
+Solution make(std::vector<double> objectives, double violation = 0.0) {
+  Solution s;
+  s.objectives = std::move(objectives);
+  s.constraint_violation = violation;
+  s.evaluated = true;
+  return s;
+}
+
+TEST(CrowdingArchive, BasicDominanceRules) {
+  CrowdingArchive archive(10);
+  EXPECT_TRUE(archive.try_insert(make({2.0, 2.0})));
+  EXPECT_FALSE(archive.try_insert(make({3.0, 3.0})));
+  EXPECT_TRUE(archive.try_insert(make({1.0, 1.0})));
+  EXPECT_EQ(archive.size(), 1u);
+}
+
+TEST(CrowdingArchive, CapacityEnforcedByCrowding) {
+  CrowdingArchive archive(5);
+  // Even spread plus one cramped pair: the cramped one goes first.
+  archive.try_insert(make({0.0, 1.0}));
+  archive.try_insert(make({0.25, 0.75}));
+  archive.try_insert(make({0.5, 0.5}));
+  archive.try_insert(make({0.75, 0.25}));
+  archive.try_insert(make({1.0, 0.0}));
+  EXPECT_EQ(archive.size(), 5u);
+  archive.try_insert(make({0.26, 0.74 - 1e-6}));
+  EXPECT_EQ(archive.size(), 5u);
+  // Extremes must survive crowding-based eviction.
+  bool has_left = false;
+  bool has_right = false;
+  for (const Solution& s : archive.contents()) {
+    if (s.objectives[0] == 0.0) has_left = true;
+    if (s.objectives[0] == 1.0) has_right = true;
+  }
+  EXPECT_TRUE(has_left);
+  EXPECT_TRUE(has_right);
+}
+
+TEST(CrowdingArchive, MembersMutuallyNonDominated) {
+  CrowdingArchive archive(15);
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 500; ++i) {
+    archive.try_insert(make({rng.uniform(), rng.uniform()}));
+  }
+  for (const Solution& a : archive.contents()) {
+    for (const Solution& b : archive.contents()) {
+      if (&a != &b) EXPECT_FALSE(dominates(a, b));
+    }
+  }
+}
+
+TEST(UnboundedArchive, KeepsEveryNonDominatedPoint) {
+  UnboundedArchive archive;
+  for (int i = 0; i <= 100; ++i) {
+    const double x = static_cast<double>(i) / 100.0;
+    EXPECT_TRUE(archive.try_insert(make({x, 1.0 - x})));
+  }
+  EXPECT_EQ(archive.size(), 101u);
+  EXPECT_EQ(archive.capacity(), 0u);
+}
+
+TEST(UnboundedArchive, DominatedPointsPruned) {
+  UnboundedArchive archive;
+  archive.try_insert(make({0.5, 0.5}));
+  archive.try_insert(make({0.4, 0.6}));
+  archive.try_insert(make({0.0, 0.0}));  // dominates everything
+  EXPECT_EQ(archive.size(), 1u);
+}
+
+TEST(UnboundedArchive, RejectsDuplicatesAndDominated) {
+  UnboundedArchive archive;
+  EXPECT_TRUE(archive.try_insert(make({1.0, 1.0})));
+  EXPECT_FALSE(archive.try_insert(make({1.0, 1.0})));
+  EXPECT_FALSE(archive.try_insert(make({2.0, 1.0})));
+}
+
+}  // namespace
+}  // namespace aedbmls::moo

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/core/simulator.hpp"
+#include "sim/mobility/mobility_model.hpp"
+#include "sim/net/wireless_channel.hpp"
+#include "sim/net/wireless_phy.hpp"
+#include "sim/propagation/log_distance.hpp"
+
+namespace aedbmls::sim {
+namespace {
+
+/// Two/three PHYs on a line with constant positions and ns-3-like radio
+/// parameters; distances chosen against the log-distance defaults
+/// (16.02 dBm reaches ~-95 dBm at ~140 m).
+class PhyFixture : public ::testing::Test {
+ protected:
+  void add_node(double x) {
+    const auto id = static_cast<NodeId>(mobilities_.size());
+    mobilities_.push_back(std::make_unique<ConstantPositionMobility>(Vec2{x, 0.0}));
+    phys_.push_back(std::make_unique<WirelessPhy>(simulator_, params_, id));
+    channel_.attach(phys_.back().get(), mobilities_.back().get());
+  }
+
+  Frame data_frame(std::uint32_t bytes = 256) {
+    Frame frame;
+    frame.kind = FrameKind::kData;
+    frame.size_bytes = bytes;
+    frame.message_id = 1;
+    return frame;
+  }
+
+  Simulator simulator_{1};
+  PhyParams params_{};
+  LogDistancePropagation propagation_{};
+  WirelessChannel channel_{simulator_, propagation_, true};
+  std::vector<std::unique_ptr<ConstantPositionMobility>> mobilities_;
+  std::vector<std::unique_ptr<WirelessPhy>> phys_;
+};
+
+TEST_F(PhyFixture, FrameDurationMatchesBitrateAndPreamble) {
+  add_node(0.0);
+  // 256 bytes at 1 Mb/s = 2048 us, plus 192 us preamble.
+  EXPECT_EQ(phys_[0]->frame_duration(256), microseconds(2240));
+  EXPECT_EQ(phys_[0]->frame_duration(0), microseconds(192));
+}
+
+TEST_F(PhyFixture, DeliversFrameWithExpectedPower) {
+  add_node(0.0);
+  add_node(100.0);
+  double rx_power = 0.0;
+  int received = 0;
+  phys_[1]->set_receive_callback([&](const Frame& frame, double dbm) {
+    ++received;
+    rx_power = dbm;
+    EXPECT_EQ(frame.sender, 0u);
+    EXPECT_EQ(frame.message_id, 1u);
+  });
+  phys_[0]->start_tx(data_frame(), 16.02);
+  simulator_.run();
+  EXPECT_EQ(received, 1);
+  EXPECT_NEAR(rx_power, 16.02 - 46.6777 - 60.0, 1e-9);  // 100 m, exp 3
+  EXPECT_EQ(phys_[1]->counters().rx_ok, 1u);
+}
+
+TEST_F(PhyFixture, SignalBelowSensitivityNotDelivered) {
+  add_node(0.0);
+  add_node(400.0);  // rx ~ -109 dBm, below -95 sensitivity
+  int received = 0;
+  phys_[1]->set_receive_callback([&](const Frame&, double) { ++received; });
+  phys_[0]->start_tx(data_frame(), 16.02);
+  simulator_.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(phys_[1]->counters().rx_below_sensitivity, 1u);
+}
+
+TEST_F(PhyFixture, ConcurrentEqualPowerTransmissionsCollide) {
+  add_node(0.0);
+  add_node(100.0);  // receiver in the middle
+  add_node(200.0);
+  int received = 0;
+  phys_[1]->set_receive_callback([&](const Frame&, double) { ++received; });
+  // Both neighbours transmit simultaneously: equal power at the receiver,
+  // SINR ~ 0 dB < 6 dB threshold => the locked frame is lost.
+  phys_[0]->start_tx(data_frame(), 16.02);
+  phys_[2]->start_tx(data_frame(), 16.02);
+  simulator_.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(phys_[1]->counters().rx_failed_sinr, 1u);
+  EXPECT_EQ(phys_[1]->counters().rx_missed_busy, 1u);
+}
+
+TEST_F(PhyFixture, StrongSignalSurvivesWeakInterferer) {
+  add_node(0.0);
+  add_node(20.0);   // strong link: ~20 m
+  add_node(220.0);  // interferer 200 m from the receiver (>= 20 dB weaker)
+  int received = 0;
+  phys_[1]->set_receive_callback([&](const Frame&, double) { ++received; });
+  phys_[0]->start_tx(data_frame(), 16.02);
+  phys_[2]->start_tx(data_frame(), 16.02);
+  simulator_.run();
+  EXPECT_EQ(received, 1);  // capture: SINR comfortably above threshold
+}
+
+TEST_F(PhyFixture, HalfDuplexAbortsReception) {
+  add_node(0.0);
+  add_node(100.0);
+  int received = 0;
+  phys_[1]->set_receive_callback([&](const Frame&, double) { ++received; });
+  phys_[0]->start_tx(data_frame(), 16.02);
+  // Receiver starts its own transmission mid-reception.
+  simulator_.schedule(microseconds(500), [&] {
+    phys_[1]->start_tx(data_frame(64), 16.02);
+  });
+  simulator_.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(phys_[1]->counters().rx_aborted_by_tx, 1u);
+}
+
+TEST_F(PhyFixture, MediumBusyDuringNeighbourTransmission) {
+  add_node(0.0);
+  add_node(100.0);
+  EXPECT_FALSE(phys_[1]->medium_busy());
+  phys_[0]->start_tx(data_frame(), 16.02);
+  bool busy_mid = false;
+  simulator_.schedule(microseconds(1000), [&] { busy_mid = phys_[1]->medium_busy(); });
+  simulator_.run();
+  EXPECT_TRUE(busy_mid);
+  EXPECT_FALSE(phys_[1]->medium_busy());  // idle again after the frame
+}
+
+TEST_F(PhyFixture, CarrierSenseBeyondDecodeRange) {
+  add_node(0.0);
+  add_node(180.0);  // rx ~ -98.3 dBm: below sensitivity, above cs (-99)
+  phys_[0]->start_tx(data_frame(), 16.02);
+  bool busy_mid = false;
+  simulator_.schedule(microseconds(1000), [&] { busy_mid = phys_[1]->medium_busy(); });
+  simulator_.run();
+  EXPECT_TRUE(busy_mid);
+  EXPECT_EQ(phys_[1]->counters().rx_ok, 0u);
+}
+
+TEST_F(PhyFixture, RefusesDoubleTransmit) {
+  add_node(0.0);
+  add_node(100.0);
+  EXPECT_TRUE(phys_[0]->start_tx(data_frame(), 16.02));
+  EXPECT_FALSE(phys_[0]->start_tx(data_frame(), 16.02));
+  simulator_.run();
+  EXPECT_EQ(phys_[0]->counters().tx_frames, 1u);
+}
+
+TEST_F(PhyFixture, TxPowerClampedToRadioRange) {
+  add_node(0.0);
+  add_node(10.0);
+  double rx_power = -1000.0;
+  phys_[1]->set_receive_callback([&](const Frame& frame, double dbm) {
+    rx_power = dbm;
+    EXPECT_DOUBLE_EQ(frame.tx_power_dbm, params_.max_tx_power_dbm);
+  });
+  phys_[0]->start_tx(data_frame(), 99.0);  // far above the radio max
+  simulator_.run();
+  EXPECT_NEAR(rx_power, params_.max_tx_power_dbm - 46.6777 - 30.0, 1e-9);
+}
+
+TEST_F(PhyFixture, PropagationDelayOrdersReceptions) {
+  add_node(0.0);
+  add_node(30.0);
+  add_node(300000.0);  // 1 ms away at light speed — exaggerated distance
+  // The far node is out of range, but the near one must see the frame after
+  // a ~100 ns flight time, not instantly.
+  Time rx_start{};
+  phys_[1]->set_receive_callback([&](const Frame&, double) {
+    rx_start = simulator_.now();
+  });
+  phys_[0]->start_tx(data_frame(), 16.02);
+  simulator_.run();
+  const Time expected_flight = seconds_d(30.0 / 299792458.0);
+  const Time frame_time = phys_[1]->frame_duration(256);
+  EXPECT_EQ(rx_start, expected_flight + frame_time);
+}
+
+}  // namespace
+}  // namespace aedbmls::sim

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/propagation/friis.hpp"
+#include "sim/propagation/log_distance.hpp"
+
+namespace aedbmls::sim {
+namespace {
+
+TEST(LogDistance, ReferenceLossAtOneMetre) {
+  const LogDistancePropagation model;
+  EXPECT_NEAR(model.loss_db(1.0), 46.6777, 1e-9);
+  // Below the reference distance the loss saturates.
+  EXPECT_NEAR(model.loss_db(0.1), 46.6777, 1e-9);
+}
+
+TEST(LogDistance, ThirtyDbPerDecadeWithExponentThree) {
+  const LogDistancePropagation model;
+  EXPECT_NEAR(model.loss_db(10.0) - model.loss_db(1.0), 30.0, 1e-9);
+  EXPECT_NEAR(model.loss_db(100.0) - model.loss_db(10.0), 30.0, 1e-9);
+}
+
+TEST(LogDistance, RxPowerMatchesLoss) {
+  const LogDistancePropagation model;
+  const double rx = model.rx_power_dbm(16.02, {0.0, 0.0}, {100.0, 0.0});
+  EXPECT_NEAR(rx, 16.02 - (46.6777 + 30.0 * 2.0), 1e-9);
+}
+
+TEST(LogDistance, MonotoneDecreasingWithDistance) {
+  const LogDistancePropagation model;
+  double last = 1e9;
+  for (double d = 1.0; d < 400.0; d *= 1.5) {
+    const double rx = model.rx_power_dbm(16.02, {0.0, 0.0}, {d, 0.0});
+    EXPECT_LT(rx, last);
+    last = rx;
+  }
+}
+
+TEST(LogDistance, DistanceForLossInvertsLoss) {
+  const LogDistancePropagation model;
+  for (const double d : {1.0, 5.0, 50.0, 140.0, 300.0}) {
+    EXPECT_NEAR(model.distance_for_loss(model.loss_db(d)), d, 1e-6);
+  }
+  // Paper-scale check: default power reaches the sensitivity edge at ~140 m.
+  const double edge = model.distance_for_loss(16.02 - (-95.0));
+  EXPECT_GT(edge, 120.0);
+  EXPECT_LT(edge, 160.0);
+}
+
+TEST(LogDistance, CustomExponent) {
+  LogDistancePropagation::Config config;
+  config.exponent = 2.0;
+  const LogDistancePropagation model(config);
+  EXPECT_NEAR(model.loss_db(10.0) - model.loss_db(1.0), 20.0, 1e-9);
+}
+
+TEST(Friis, MatchesClosedForm) {
+  const FriisPropagation model;
+  // L(d) = 20 log10(4 pi d / lambda), lambda ~ 0.12491 m at 2.4 GHz.
+  const double lambda = 299792458.0 / 2.4e9;
+  const double expected = 20.0 * std::log10(4.0 * M_PI * 100.0 / lambda);
+  EXPECT_NEAR(model.loss_db(100.0), expected, 1e-9);
+}
+
+TEST(Friis, TwentyDbPerDecade) {
+  const FriisPropagation model;
+  EXPECT_NEAR(model.loss_db(100.0) - model.loss_db(10.0), 20.0, 1e-9);
+}
+
+TEST(Friis, MinDistanceGuard) {
+  const FriisPropagation model;
+  EXPECT_DOUBLE_EQ(model.loss_db(0.0), model.loss_db(0.5));
+}
+
+TEST(RangeModel, HardCutoff) {
+  const RangePropagation model(100.0);
+  EXPECT_DOUBLE_EQ(model.rx_power_dbm(10.0, {0.0, 0.0}, {99.0, 0.0}), 10.0);
+  EXPECT_TRUE(std::isinf(model.rx_power_dbm(10.0, {0.0, 0.0}, {101.0, 0.0})));
+}
+
+}  // namespace
+}  // namespace aedbmls::sim

@@ -1,0 +1,187 @@
+/// Property-style sweeps over the optimiser core: archive invariants under
+/// random insert streams, operator bound safety across the AEDB domains,
+/// and dominance axioms — parameterized over seeds and configurations.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aedb/aedb_params.hpp"
+#include "common/rng.hpp"
+#include "moo/core/aga_archive.hpp"
+#include "moo/core/crowding_archive.hpp"
+#include "moo/core/dominance.hpp"
+#include "moo/core/unbounded_archive.hpp"
+#include "moo/operators/blx_alpha.hpp"
+#include "moo/operators/polynomial_mutation.hpp"
+#include "moo/operators/sbx.hpp"
+
+namespace aedbmls::moo {
+namespace {
+
+Solution random_solution(Xoshiro256& rng, std::size_t objectives,
+                         double infeasible_rate = 0.2) {
+  Solution s;
+  s.objectives.resize(objectives);
+  for (double& f : s.objectives) f = rng.uniform(-10.0, 10.0);
+  s.constraint_violation = rng.bernoulli(infeasible_rate) ? rng.uniform() : 0.0;
+  s.evaluated = true;
+  return s;
+}
+
+class ArchiveInvariants
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t>> {};
+
+TEST_P(ArchiveInvariants, AgaStaysConsistentUnderRandomStream) {
+  const auto [seed, objectives] = GetParam();
+  Xoshiro256 rng(seed);
+  AgaArchive archive(16, 3);
+  for (int i = 0; i < 600; ++i) {
+    archive.try_insert(random_solution(rng, objectives));
+    ASSERT_LE(archive.size(), 16u);
+  }
+  // Mutual non-domination of the final membership.
+  for (const Solution& a : archive.contents()) {
+    for (const Solution& b : archive.contents()) {
+      if (&a != &b) ASSERT_FALSE(dominates(a, b));
+    }
+  }
+}
+
+TEST_P(ArchiveInvariants, CrowdingArchiveMatchesAgaContract) {
+  const auto [seed, objectives] = GetParam();
+  Xoshiro256 rng(seed + 1000);
+  CrowdingArchive archive(16);
+  for (int i = 0; i < 600; ++i) {
+    archive.try_insert(random_solution(rng, objectives));
+    ASSERT_LE(archive.size(), 16u);
+  }
+  for (const Solution& a : archive.contents()) {
+    for (const Solution& b : archive.contents()) {
+      if (&a != &b) ASSERT_FALSE(dominates(a, b));
+    }
+  }
+}
+
+TEST_P(ArchiveInvariants, UnboundedArchiveNeverDropsNonDominated) {
+  const auto [seed, objectives] = GetParam();
+  Xoshiro256 rng(seed + 2000);
+  UnboundedArchive archive;
+  std::vector<Solution> all;
+  for (int i = 0; i < 200; ++i) {
+    const Solution s = random_solution(rng, objectives);
+    all.push_back(s);
+    archive.try_insert(s);
+  }
+  // Every inserted solution is either in the archive or dominated/duplicated
+  // by an archive member.
+  for (const Solution& s : all) {
+    bool represented = false;
+    for (const Solution& m : archive.contents()) {
+      if (m.objectives == s.objectives || dominates(m, s)) {
+        represented = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(represented);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedsAndObjectives, ArchiveInvariants,
+                         ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u),
+                                            ::testing::Values(2u, 3u)));
+
+class OperatorBounds : public ::testing::TestWithParam<double> {};
+
+TEST_P(OperatorBounds, PaperBlxStaysFiniteOverAedbDomain) {
+  const double alpha = GetParam();
+  Xoshiro256 rng(11);
+  const auto& domain = aedb::AedbParams::domain();
+  for (int i = 0; i < 5000; ++i) {
+    for (std::size_t d = 0; d < domain.size(); ++d) {
+      const double sp = rng.uniform(domain[d].first, domain[d].second);
+      const double tp = rng.uniform(domain[d].first, domain[d].second);
+      const double v = paper_blx_step(sp, tp, alpha, rng);
+      ASSERT_TRUE(std::isfinite(v));
+      // Envelope: at most 2*alpha*span beyond the domain.
+      const double span = domain[d].second - domain[d].first;
+      ASSERT_GE(v, domain[d].first - 2.0 * alpha * span);
+      ASSERT_LE(v, domain[d].second + 2.0 * alpha * span);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, OperatorBounds,
+                         ::testing::Values(0.1, 0.2, 0.3));
+
+class MutationSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MutationSweep, PolynomialMutationRespectsAedbDomain) {
+  const double eta = GetParam();
+  Xoshiro256 rng(13);
+  const auto& domain_array = aedb::AedbParams::domain();
+  const std::vector<std::pair<double, double>> bounds(domain_array.begin(),
+                                                      domain_array.end());
+  PolynomialMutationParams params{1.0, eta};
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<double> x(bounds.size());
+    for (std::size_t d = 0; d < x.size(); ++d) {
+      x[d] = rng.uniform(bounds[d].first, bounds[d].second);
+    }
+    polynomial_mutation(x, params, bounds, rng);
+    for (std::size_t d = 0; d < x.size(); ++d) {
+      ASSERT_GE(x[d], bounds[d].first);
+      ASSERT_LE(x[d], bounds[d].second);
+    }
+  }
+}
+
+TEST_P(MutationSweep, SbxRespectsAedbDomain) {
+  const double eta = GetParam();
+  Xoshiro256 rng(17);
+  const auto& domain_array = aedb::AedbParams::domain();
+  const std::vector<std::pair<double, double>> bounds(domain_array.begin(),
+                                                      domain_array.end());
+  SbxParams params{1.0, eta};
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<double> p1(bounds.size());
+    std::vector<double> p2(bounds.size());
+    for (std::size_t d = 0; d < bounds.size(); ++d) {
+      p1[d] = rng.uniform(bounds[d].first, bounds[d].second);
+      p2[d] = rng.uniform(bounds[d].first, bounds[d].second);
+    }
+    const auto [c1, c2] = sbx_crossover(p1, p2, params, bounds, rng);
+    for (std::size_t d = 0; d < bounds.size(); ++d) {
+      ASSERT_GE(c1[d], bounds[d].first);
+      ASSERT_LE(c1[d], bounds[d].second);
+      ASSERT_GE(c2[d], bounds[d].first);
+      ASSERT_LE(c2[d], bounds[d].second);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Etas, MutationSweep, ::testing::Values(5.0, 20.0, 100.0));
+
+class DominanceAxioms : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DominanceAxioms, TransitivityOnRandomTriples) {
+  Xoshiro256 rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    const Solution a = random_solution(rng, 3);
+    const Solution b = random_solution(rng, 3);
+    const Solution c = random_solution(rng, 3);
+    if (dominates(a, b) && dominates(b, c)) {
+      ASSERT_TRUE(dominates(a, c));
+    }
+    // Antisymmetry.
+    ASSERT_FALSE(dominates(a, b) && dominates(b, a));
+    // Irreflexivity.
+    ASSERT_FALSE(dominates(a, a));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DominanceAxioms,
+                         ::testing::Values(21u, 22u, 23u));
+
+}  // namespace
+}  // namespace aedbmls::moo

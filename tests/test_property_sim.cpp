@@ -1,0 +1,115 @@
+/// Property-style sweeps over the simulation stack: for every (density,
+/// seed) combination the scenario must satisfy the structural invariants of
+/// a broadcast dissemination, bit-reproducibly.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aedb/scenario.hpp"
+
+namespace aedbmls::aedb {
+namespace {
+
+struct SimCase {
+  int density;
+  std::uint64_t seed;
+  std::uint64_t network;
+};
+
+class ScenarioProperties : public ::testing::TestWithParam<SimCase> {};
+
+AedbParams mid_params() {
+  AedbParams params;
+  params.min_delay_s = 0.1;
+  params.max_delay_s = 0.8;
+  params.border_threshold_dbm = -88.0;
+  params.margin_threshold_db = 1.0;
+  params.neighbors_threshold = 15.0;
+  return params;
+}
+
+TEST_P(ScenarioProperties, StructuralInvariantsHold) {
+  const SimCase c = GetParam();
+  const ScenarioConfig config = make_paper_scenario(c.density, c.seed, c.network);
+  const ScenarioResult result = run_scenario(config, mid_params());
+  const BroadcastStats& stats = result.stats;
+
+  const std::size_t n = nodes_for_density(c.density);
+  EXPECT_EQ(stats.network_size, n);
+  // Coverage excludes the source.
+  EXPECT_LE(stats.coverage, n - 1);
+  // Only nodes that received can forward.
+  EXPECT_LE(stats.forwardings, stats.coverage);
+  // Zero forwardings <=> zero forwarding energy.
+  if (stats.forwardings == 0) {
+    EXPECT_DOUBLE_EQ(stats.energy_dbm_sum, 0.0);
+    EXPECT_DOUBLE_EQ(stats.energy_mj, 0.0);
+  } else {
+    EXPECT_GT(stats.energy_mj, 0.0);
+    // Per-forwarding power is inside the radio's range.
+    const double mean_power =
+        stats.energy_dbm_sum / static_cast<double>(stats.forwardings);
+    EXPECT_GE(mean_power, -60.0);
+    EXPECT_LE(mean_power, 16.02 + 1e-9);
+  }
+  // Broadcast time within the simulated window (source at 30 s, end 40 s).
+  EXPECT_GE(stats.broadcast_time_s, 0.0);
+  EXPECT_LE(stats.broadcast_time_s, 10.0);
+  // Zero coverage <=> zero broadcast time.
+  if (stats.coverage == 0) EXPECT_DOUBLE_EQ(stats.broadcast_time_s, 0.0);
+  EXPECT_TRUE(std::isfinite(stats.energy_dbm_sum));
+}
+
+TEST_P(ScenarioProperties, BitReproducible) {
+  const SimCase c = GetParam();
+  const ScenarioConfig config = make_paper_scenario(c.density, c.seed, c.network);
+  const ScenarioResult a = run_scenario(config, mid_params());
+  const ScenarioResult b = run_scenario(config, mid_params());
+  EXPECT_EQ(a.stats.coverage, b.stats.coverage);
+  EXPECT_EQ(a.stats.forwardings, b.stats.forwardings);
+  EXPECT_DOUBLE_EQ(a.stats.energy_dbm_sum, b.stats.energy_dbm_sum);
+  EXPECT_DOUBLE_EQ(a.stats.energy_mj, b.stats.energy_mj);
+  EXPECT_DOUBLE_EQ(a.stats.broadcast_time_s, b.stats.broadcast_time_s);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.stats.collisions, b.stats.collisions);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DensitiesAndSeeds, ScenarioProperties,
+    ::testing::Values(SimCase{100, 1, 0}, SimCase{100, 1, 1},
+                      SimCase{100, 2, 0}, SimCase{200, 1, 0},
+                      SimCase{200, 2, 1}, SimCase{300, 1, 0}),
+    [](const ::testing::TestParamInfo<SimCase>& info) {
+      return "d" + std::to_string(info.param.density) + "_s" +
+             std::to_string(info.param.seed) + "_n" +
+             std::to_string(info.param.network);
+    });
+
+/// Parameter-direction checks (Table I shapes) at the scenario level.
+class DelayDirection : public ::testing::TestWithParam<int> {};
+
+TEST_P(DelayDirection, LongerDelaysNeverSpeedUpDissemination) {
+  const int density = GetParam();
+  AedbParams fast = mid_params();
+  fast.min_delay_s = 0.0;
+  fast.max_delay_s = 0.1;
+  AedbParams slow = mid_params();
+  slow.min_delay_s = 2.0;
+  slow.max_delay_s = 4.0;
+
+  double bt_fast = 0.0;
+  double bt_slow = 0.0;
+  for (std::uint64_t net = 0; net < 3; ++net) {
+    const ScenarioConfig config = make_paper_scenario(density, 3, net);
+    bt_fast += run_scenario(config, fast).stats.broadcast_time_s;
+    bt_slow += run_scenario(config, slow).stats.broadcast_time_s;
+  }
+  EXPECT_LE(bt_fast, bt_slow + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, DelayDirection,
+                         ::testing::Values(100, 200));
+
+}  // namespace
+}  // namespace aedbmls::aedb

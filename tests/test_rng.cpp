@@ -1,0 +1,149 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace aedbmls {
+namespace {
+
+TEST(SplitMix, DeterministicSequence) {
+  std::uint64_t s1 = 42;
+  std::uint64_t s2 = 42;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  }
+}
+
+TEST(SplitMix, DifferentSeedsDiverge) {
+  std::uint64_t s1 = 1;
+  std::uint64_t s2 = 2;
+  EXPECT_NE(splitmix64(s1), splitmix64(s2));
+}
+
+TEST(HashCombine, OrderSensitive) {
+  EXPECT_NE(hash_combine(hash_combine(7, 1), 2),
+            hash_combine(hash_combine(7, 2), 1));
+}
+
+TEST(Xoshiro, UniformInUnitInterval) {
+  Xoshiro256 rng(123);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro, UniformRangeRespectsBounds) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-3.5, 7.25);
+    EXPECT_GE(u, -3.5);
+    EXPECT_LT(u, 7.25);
+  }
+}
+
+TEST(Xoshiro, UniformMeanNearHalf) {
+  Xoshiro256 rng(7);
+  double sum = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(Xoshiro, UniformIntCoversAllValues) {
+  Xoshiro256 rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Xoshiro, UniformIntInclusiveRange) {
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Xoshiro, NormalMomentsRoughlyStandard) {
+  Xoshiro256 rng(17);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sum_sq += z * z;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kDraws, 1.0, 0.03);
+}
+
+TEST(Xoshiro, SameSeedSameStream) {
+  Xoshiro256 a(99);
+  Xoshiro256 b(99);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(CounterRng, PureFunctionOfIndex) {
+  const CounterRng stream(5, {1, 2});
+  EXPECT_EQ(stream.bits(10), stream.bits(10));
+  EXPECT_EQ(stream.uniform(3), stream.uniform(3));
+}
+
+TEST(CounterRng, IndependentOfQueryOrder) {
+  const CounterRng stream(5, {1});
+  const double later = stream.uniform(100);
+  const double earlier = stream.uniform(1);
+  const CounterRng stream2(5, {1});
+  EXPECT_EQ(stream2.uniform(1), earlier);
+  EXPECT_EQ(stream2.uniform(100), later);
+}
+
+TEST(CounterRng, ChildStreamsDiffer) {
+  const CounterRng parent(5);
+  const CounterRng a = parent.child(1);
+  const CounterRng b = parent.child(2);
+  int equal = 0;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    if (a.bits(i) == b.bits(i)) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(CounterRng, IdListChangesStream) {
+  EXPECT_NE(CounterRng(5, {1, 2}).bits(0), CounterRng(5, {2, 1}).bits(0));
+}
+
+TEST(CounterRng, UniformWithinBounds) {
+  const CounterRng stream(21);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const double u = stream.uniform(i, 2.0, 4.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 4.0);
+  }
+}
+
+TEST(CounterRng, EngineSeedsDeterministically) {
+  const CounterRng stream(33);
+  Xoshiro256 e1 = stream.engine(4);
+  Xoshiro256 e2 = stream.engine(4);
+  EXPECT_EQ(e1(), e2());
+}
+
+TEST(CounterRng, MeanNearHalf) {
+  const CounterRng stream(77);
+  double sum = 0.0;
+  constexpr std::uint64_t kDraws = 100000;
+  for (std::uint64_t i = 0; i < kDraws; ++i) sum += stream.uniform(i);
+  EXPECT_NEAR(sum / static_cast<double>(kDraws), 0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace aedbmls

@@ -1,0 +1,107 @@
+#include "aedb/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aedbmls::aedb {
+namespace {
+
+AedbParams reasonable_params() {
+  AedbParams params;
+  params.min_delay_s = 0.0;
+  params.max_delay_s = 0.5;
+  params.border_threshold_dbm = -90.0;
+  params.margin_threshold_db = 1.5;
+  params.neighbors_threshold = 25.0;
+  return params;
+}
+
+TEST(Scenario, DensityToNodeCount) {
+  EXPECT_EQ(nodes_for_density(100), 25u);   // 0.25 km^2 arena
+  EXPECT_EQ(nodes_for_density(200), 50u);
+  EXPECT_EQ(nodes_for_density(300), 75u);
+  EXPECT_EQ(nodes_for_density(100, 1000.0, 1000.0), 100u);
+}
+
+TEST(Scenario, PaperScenarioDefaults) {
+  const ScenarioConfig config = make_paper_scenario(200, 11, 3);
+  EXPECT_EQ(config.network.node_count, 50u);
+  EXPECT_EQ(config.network.seed, 11u);
+  EXPECT_EQ(config.network.network_index, 3u);
+  EXPECT_EQ(config.broadcast_at, sim::seconds(30));
+  EXPECT_EQ(config.end_at, sim::seconds(40));
+}
+
+TEST(Scenario, RunsAndProducesSaneMetrics) {
+  const ScenarioConfig config = make_paper_scenario(100, 42, 0);
+  const ScenarioResult result = run_scenario(config, reasonable_params());
+  const BroadcastStats& stats = result.stats;
+  EXPECT_EQ(stats.network_size, 25u);
+  EXPECT_LE(stats.coverage, 24u);
+  EXPECT_LE(stats.forwardings, stats.coverage);  // only receivers forward
+  EXPECT_GE(stats.broadcast_time_s, 0.0);
+  EXPECT_LT(stats.broadcast_time_s, 10.0);  // inside the 40 s window
+  EXPECT_GT(result.events_executed, 0u);
+}
+
+TEST(Scenario, DeterministicAcrossRuns) {
+  const ScenarioConfig config = make_paper_scenario(100, 42, 1);
+  const AedbParams params = reasonable_params();
+  const ScenarioResult a = run_scenario(config, params);
+  const ScenarioResult b = run_scenario(config, params);
+  EXPECT_EQ(a.stats.coverage, b.stats.coverage);
+  EXPECT_EQ(a.stats.forwardings, b.stats.forwardings);
+  EXPECT_DOUBLE_EQ(a.stats.energy_dbm_sum, b.stats.energy_dbm_sum);
+  EXPECT_DOUBLE_EQ(a.stats.broadcast_time_s, b.stats.broadcast_time_s);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+}
+
+TEST(Scenario, DifferentNetworksDiffer) {
+  const AedbParams params = reasonable_params();
+  const ScenarioResult a = run_scenario(make_paper_scenario(100, 42, 0), params);
+  const ScenarioResult b = run_scenario(make_paper_scenario(100, 42, 5), params);
+  // Different topology or source: at least one metric differs.
+  EXPECT_TRUE(a.stats.coverage != b.stats.coverage ||
+              a.stats.energy_dbm_sum != b.stats.energy_dbm_sum ||
+              a.stats.broadcast_time_s != b.stats.broadcast_time_s);
+}
+
+TEST(Scenario, WiderForwardingAreaDoesNotReduceReachability) {
+  // The border threshold is the *inner* edge of the forwarding ring: a node
+  // drops when its strongest copy is ABOVE it.  Raising the border toward
+  // -70 widens the ring (more potential forwarders); at -95 (the decode
+  // sensitivity) essentially every receiver is inside the border and drops.
+  // Table I: increase border to improve coverage.
+  AedbParams open = reasonable_params();
+  open.border_threshold_dbm = -70.0;
+  AedbParams closed = reasonable_params();
+  closed.border_threshold_dbm = -95.0;
+
+  double covered_open = 0.0;
+  double covered_closed = 0.0;
+  for (std::uint64_t net = 0; net < 4; ++net) {
+    const ScenarioConfig config = make_paper_scenario(200, 7, net);
+    covered_open += static_cast<double>(run_scenario(config, open).stats.coverage);
+    covered_closed +=
+        static_cast<double>(run_scenario(config, closed).stats.coverage);
+  }
+  EXPECT_GE(covered_open, covered_closed);
+}
+
+TEST(Scenario, FixedSourceWhenRandomSourceDisabled) {
+  ScenarioConfig config = make_paper_scenario(100, 13, 0);
+  config.random_source = false;
+  const ScenarioResult result = run_scenario(config, reasonable_params());
+  EXPECT_EQ(result.stats.network_size, 25u);
+}
+
+TEST(Scenario, ZeroDelayConfigurationStillValid) {
+  AedbParams params = reasonable_params();
+  params.min_delay_s = 0.0;
+  params.max_delay_s = 0.0;
+  const ScenarioConfig config = make_paper_scenario(100, 17, 2);
+  const ScenarioResult result = run_scenario(config, params);
+  EXPECT_LE(result.stats.coverage, 24u);
+}
+
+}  // namespace
+}  // namespace aedbmls::aedb

@@ -1,0 +1,124 @@
+/// Scenario behaviour under the non-paper regimes (mobility models,
+/// shadowing, payload sizes) — the code paths bench_robustness (E12)
+/// exercises, pinned down as unit invariants.
+
+#include <gtest/gtest.h>
+
+#include "aedb/scenario.hpp"
+
+namespace aedbmls::aedb {
+namespace {
+
+AedbParams mid_params() {
+  AedbParams params;
+  params.min_delay_s = 0.1;
+  params.max_delay_s = 0.6;
+  params.border_threshold_dbm = -88.0;
+  params.margin_threshold_db = 1.0;
+  params.neighbors_threshold = 15.0;
+  return params;
+}
+
+TEST(ScenarioRegimes, AllMobilityKindsRunToCompletion) {
+  for (const sim::MobilityKind kind :
+       {sim::MobilityKind::kRandomWalk, sim::MobilityKind::kStatic,
+        sim::MobilityKind::kRandomWaypoint, sim::MobilityKind::kGaussMarkov}) {
+    ScenarioConfig config = make_paper_scenario(100, 21, 0);
+    config.network.mobility = kind;
+    const ScenarioResult result = run_scenario(config, mid_params());
+    EXPECT_LE(result.stats.coverage, 24u) << static_cast<int>(kind);
+    EXPECT_LE(result.stats.forwardings, result.stats.coverage)
+        << static_cast<int>(kind);
+    EXPECT_GT(result.events_executed, 0u);
+  }
+}
+
+TEST(ScenarioRegimes, MobilityKindsProduceDistinctOutcomes) {
+  ScenarioConfig walk_config = make_paper_scenario(200, 22, 1);
+  ScenarioConfig static_config = walk_config;
+  static_config.network.mobility = sim::MobilityKind::kStatic;
+  const auto walk = run_scenario(walk_config, mid_params());
+  const auto still = run_scenario(static_config, mid_params());
+  // Same placement, different motion: some metric must differ.
+  EXPECT_TRUE(walk.stats.coverage != still.stats.coverage ||
+              walk.stats.energy_dbm_sum != still.stats.energy_dbm_sum ||
+              walk.events_executed != still.events_executed);
+}
+
+TEST(ScenarioRegimes, ShadowedScenarioDeterministic) {
+  ScenarioConfig config = make_paper_scenario(100, 23, 2);
+  config.network.shadowing_sigma_db = 6.0;
+  const ScenarioResult a = run_scenario(config, mid_params());
+  const ScenarioResult b = run_scenario(config, mid_params());
+  EXPECT_EQ(a.stats.coverage, b.stats.coverage);
+  EXPECT_DOUBLE_EQ(a.stats.energy_dbm_sum, b.stats.energy_dbm_sum);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+}
+
+TEST(ScenarioRegimes, ShadowingChangesTheOutcome) {
+  ScenarioConfig clean = make_paper_scenario(100, 24, 0);
+  ScenarioConfig faded = clean;
+  faded.network.shadowing_sigma_db = 8.0;
+  const auto without = run_scenario(clean, mid_params());
+  const auto with = run_scenario(faded, mid_params());
+  EXPECT_TRUE(without.stats.coverage != with.stats.coverage ||
+              without.stats.energy_dbm_sum != with.stats.energy_dbm_sum);
+}
+
+TEST(ScenarioRegimes, LargerPayloadTakesLongerOnAir) {
+  ScenarioConfig small_frames = make_paper_scenario(100, 25, 0);
+  small_frames.data_bytes = 64;
+  ScenarioConfig large_frames = small_frames;
+  large_frames.data_bytes = 1024;
+  const auto small_result = run_scenario(small_frames, mid_params());
+  const auto large_result = run_scenario(large_frames, mid_params());
+  // Same topology/delays; longer frames => at least as much radiated energy
+  // per forwarding (mJ scales with airtime).
+  if (small_result.stats.forwardings == large_result.stats.forwardings &&
+      small_result.stats.forwardings > 0) {
+    EXPECT_GT(large_result.stats.energy_mj, small_result.stats.energy_mj);
+  }
+}
+
+TEST(ScenarioRegimes, DormantBeaconsForceDefaultPowerForwarding) {
+  // With beacons starting after the broadcast, neighbor tables are empty:
+  // every forwarder falls back to the default power, so the mean per-
+  // forwarding energy equals 16.02 dBm.
+  ScenarioConfig config = make_paper_scenario(100, 26, 0);
+  config.beacon_start = sim::seconds(39);
+  AedbParams params = mid_params();
+  const ScenarioResult result = run_scenario(config, params);
+  if (result.stats.forwardings > 0) {
+    const double mean_power = result.stats.energy_dbm_sum /
+                              static_cast<double>(result.stats.forwardings);
+    EXPECT_NEAR(mean_power, 16.02, 1e-9);
+  }
+}
+
+TEST(ScenarioRegimes, WarmBeaconsReduceForwardPowerBelowDefault) {
+  // The whole point of AEDB: with neighbor knowledge, adapted forwarding
+  // power sits below the default on average.
+  ScenarioConfig config = make_paper_scenario(200, 27, 0);
+  const ScenarioResult result = run_scenario(config, mid_params());
+  if (result.stats.forwardings > 0) {
+    const double mean_power = result.stats.energy_dbm_sum /
+                              static_cast<double>(result.stats.forwardings);
+    EXPECT_LT(mean_power, 16.02);
+  }
+}
+
+TEST(ScenarioRegimes, ShorterSimulationWindowTruncatesDissemination) {
+  ScenarioConfig full = make_paper_scenario(100, 28, 0);
+  ScenarioConfig cut = full;
+  cut.end_at = full.broadcast_at + sim::seconds_d(0.2);
+  AedbParams slow = mid_params();
+  slow.min_delay_s = 0.5;
+  slow.max_delay_s = 1.5;
+  const auto full_result = run_scenario(full, slow);
+  const auto cut_result = run_scenario(cut, slow);
+  EXPECT_LE(cut_result.stats.coverage, full_result.stats.coverage);
+  EXPECT_LE(cut_result.stats.forwardings, full_result.stats.forwardings);
+}
+
+}  // namespace
+}  // namespace aedbmls::aedb

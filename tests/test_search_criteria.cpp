@@ -1,0 +1,64 @@
+#include "core/search_criteria.hpp"
+
+#include <gtest/gtest.h>
+
+#include "aedb/aedb_params.hpp"
+
+namespace aedbmls::core {
+namespace {
+
+TEST(SearchCriteria, PaperCriteriaMatchTableOne) {
+  const auto criteria = aedb_criteria();
+  ASSERT_EQ(criteria.size(), 3u);
+
+  // C1: energy/forwardings -> border (2) + neighbors (4).
+  EXPECT_EQ(criteria[0].variables,
+            (std::vector<std::size_t>{aedb::AedbParams::kBorderThreshold,
+                                      aedb::AedbParams::kNeighborsThreshold}));
+  // C2: coverage -> neighbors only.
+  EXPECT_EQ(criteria[1].variables,
+            (std::vector<std::size_t>{aedb::AedbParams::kNeighborsThreshold}));
+  // C3: broadcast time -> both delays.
+  EXPECT_EQ(criteria[2].variables,
+            (std::vector<std::size_t>{aedb::AedbParams::kMinDelay,
+                                      aedb::AedbParams::kMaxDelay}));
+}
+
+TEST(SearchCriteria, MarginNeverPerturbed) {
+  for (const auto& criterion : aedb_criteria()) {
+    for (const std::size_t v : criterion.variables) {
+      EXPECT_NE(v, aedb::AedbParams::kMarginThreshold);
+    }
+  }
+}
+
+TEST(SearchCriteria, AllVariablesCriterion) {
+  const auto criteria = all_variables_criterion(5);
+  ASSERT_EQ(criteria.size(), 1u);
+  EXPECT_EQ(criteria[0].variables.size(), 5u);
+}
+
+TEST(SearchCriteria, PerVariableCriteria) {
+  const auto criteria = per_variable_criteria(4);
+  ASSERT_EQ(criteria.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(criteria[i].variables, (std::vector<std::size_t>{i}));
+  }
+}
+
+TEST(SearchCriteria, ValidationAcceptsPaperCriteria) {
+  validate_criteria(aedb_criteria(), aedb::AedbParams::kDimensions);
+}
+
+TEST(SearchCriteriaDeathTest, RejectsOutOfRangeIndex) {
+  const std::vector<SearchCriterion> bad{{"bad", {7}}};
+  EXPECT_DEATH(validate_criteria(bad, 5), "out of range");
+}
+
+TEST(SearchCriteriaDeathTest, RejectsEmptyCriterion) {
+  const std::vector<SearchCriterion> bad{{"bad", {}}};
+  EXPECT_DEATH(validate_criteria(bad, 5), "empty");
+}
+
+}  // namespace
+}  // namespace aedbmls::core

@@ -1,0 +1,87 @@
+#include "sim/propagation/shadowing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+#include "sim/propagation/log_distance.hpp"
+
+namespace aedbmls::sim {
+namespace {
+
+ShadowedPropagation::Config config_with(double sigma, double corr = 25.0,
+                                        std::uint64_t seed = 1) {
+  ShadowedPropagation::Config config;
+  config.sigma_db = sigma;
+  config.correlation_distance = corr;
+  config.seed = seed;
+  return config;
+}
+
+TEST(Shadowing, DeterministicPerPositionPair) {
+  const LogDistancePropagation base;
+  const ShadowedPropagation model(base, config_with(6.0));
+  const double a = model.rx_power_dbm(16.0, {10.0, 10.0}, {100.0, 50.0});
+  const double b = model.rx_power_dbm(16.0, {10.0, 10.0}, {100.0, 50.0});
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Shadowing, SymmetricLinks) {
+  const LogDistancePropagation base;
+  const ShadowedPropagation model(base, config_with(6.0));
+  EXPECT_DOUBLE_EQ(model.shadow_db({10.0, 10.0}, {100.0, 50.0}),
+                   model.shadow_db({100.0, 50.0}, {10.0, 10.0}));
+}
+
+TEST(Shadowing, ZeroSigmaMatchesBase) {
+  const LogDistancePropagation base;
+  const ShadowedPropagation model(base, config_with(0.0));
+  const double with = model.rx_power_dbm(16.0, {0.0, 0.0}, {100.0, 0.0});
+  const double without = base.rx_power_dbm(16.0, {0.0, 0.0}, {100.0, 0.0});
+  EXPECT_NEAR(with, without, 1e-12);
+}
+
+TEST(Shadowing, FadeStatisticsMatchSigma) {
+  const LogDistancePropagation base;
+  const ShadowedPropagation model(base, config_with(4.0, 25.0, 9));
+  RunningStats stats;
+  // Sample many distinct cell pairs.
+  for (int i = 0; i < 60; ++i) {
+    for (int j = 0; j < 60; ++j) {
+      const Vec2 a{static_cast<double>(i) * 30.0, 0.0};
+      const Vec2 b{0.0, static_cast<double>(j) * 30.0 + 500.0};
+      stats.add(model.shadow_db(a, b));
+    }
+  }
+  EXPECT_NEAR(stats.mean(), 0.0, 0.25);
+  EXPECT_NEAR(stats.stddev(), 4.0, 0.4);
+}
+
+TEST(Shadowing, CorrelatedWithinCell) {
+  const LogDistancePropagation base;
+  const ShadowedPropagation model(base, config_with(6.0, 50.0));
+  // Two nearly identical links (endpoints within the same 50 m cells) see
+  // the same fade.
+  EXPECT_DOUBLE_EQ(model.shadow_db({10.0, 10.0}, {210.0, 10.0}),
+                   model.shadow_db({12.0, 11.0}, {214.0, 13.0}));
+}
+
+TEST(Shadowing, DecorrelatedAcrossCells) {
+  const LogDistancePropagation base;
+  const ShadowedPropagation model(base, config_with(6.0, 25.0));
+  const double near = model.shadow_db({10.0, 10.0}, {200.0, 10.0});
+  const double far = model.shadow_db({10.0, 10.0}, {600.0, 400.0});
+  EXPECT_NE(near, far);
+}
+
+TEST(Shadowing, DifferentSeedsDifferentFields) {
+  const LogDistancePropagation base;
+  const ShadowedPropagation field1(base, config_with(6.0, 25.0, 1));
+  const ShadowedPropagation field2(base, config_with(6.0, 25.0, 2));
+  EXPECT_NE(field1.shadow_db({10.0, 10.0}, {200.0, 10.0}),
+            field2.shadow_db({10.0, 10.0}, {200.0, 10.0}));
+}
+
+}  // namespace
+}  // namespace aedbmls::sim

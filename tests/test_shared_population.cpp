@@ -1,0 +1,89 @@
+#include "core/shared_population.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+namespace aedbmls::core {
+namespace {
+
+moo::Solution make(double value) {
+  moo::Solution s;
+  s.x = {value};
+  s.objectives = {value};
+  s.evaluated = true;
+  return s;
+}
+
+TEST(SharedPopulation, SetGetRoundTrip) {
+  SharedPopulation population(3);
+  population.set(1, make(42.0));
+  EXPECT_EQ(population.get(1).x[0], 42.0);
+  EXPECT_EQ(population.size(), 3u);
+}
+
+TEST(SharedPopulation, RandomOtherNeverReturnsOwnSlot) {
+  SharedPopulation population(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    population.set(i, make(static_cast<double>(i)));
+  }
+  Xoshiro256 rng(1);
+  for (int draw = 0; draw < 500; ++draw) {
+    const moo::Solution t = population.random_other(2, rng);
+    EXPECT_NE(t.x[0], 2.0);
+  }
+}
+
+TEST(SharedPopulation, RandomOtherCoversAllTeammates) {
+  SharedPopulation population(5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    population.set(i, make(static_cast<double>(i)));
+  }
+  Xoshiro256 rng(2);
+  std::set<double> seen;
+  for (int draw = 0; draw < 500; ++draw) {
+    seen.insert(population.random_other(0, rng).x[0]);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(SharedPopulation, SingleSlotReturnsSelf) {
+  SharedPopulation population(1);
+  population.set(0, make(7.0));
+  Xoshiro256 rng(3);
+  EXPECT_EQ(population.random_other(0, rng).x[0], 7.0);
+}
+
+TEST(SharedPopulation, ConcurrentReadersAndWritersAreSafe) {
+  SharedPopulation population(8);
+  for (std::size_t i = 0; i < 8; ++i) population.set(i, make(0.0));
+  std::atomic<bool> stop{false};
+  std::atomic<int> reads{0};
+
+  std::vector<std::thread> threads;
+  for (std::size_t w = 0; w < 4; ++w) {
+    threads.emplace_back([&, w] {
+      Xoshiro256 rng(100 + w);
+      int iterations = 0;
+      while (!stop.load(std::memory_order_relaxed) && iterations < 20000) {
+        population.set(w, make(rng.uniform()));
+        const moo::Solution t = population.random_other(w, rng);
+        // Solutions are copied atomically under the lock: a torn read would
+        // produce an inconsistent x/objectives pair.
+        ASSERT_EQ(t.x.size(), 1u);
+        ASSERT_EQ(t.objectives.size(), 1u);
+        ASSERT_EQ(t.x[0], t.objectives[0]);
+        reads.fetch_add(1, std::memory_order_relaxed);
+        ++iterations;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  stop = true;
+  EXPECT_GT(reads.load(), 0);
+}
+
+}  // namespace
+}  // namespace aedbmls::core

@@ -1,0 +1,76 @@
+#include "moo/algorithms/spea2.hpp"
+
+#include <gtest/gtest.h>
+
+#include "moo/core/dominance.hpp"
+#include "moo/indicators/hypervolume.hpp"
+#include "moo/problems/synthetic.hpp"
+
+namespace aedbmls::moo {
+namespace {
+
+Spea2::Config small_config(std::size_t evaluations = 5000) {
+  Spea2::Config config;
+  config.population_size = 40;
+  config.archive_size = 40;
+  config.max_evaluations = evaluations;
+  return config;
+}
+
+TEST(Spea2, ConvergesOnZdt1) {
+  const Zdt1Problem problem(8);
+  Spea2 algorithm(small_config(8000));
+  const AlgorithmResult result = algorithm.run(problem, 1);
+  ASSERT_FALSE(result.front.empty());
+  EXPECT_GT(hypervolume(result.front, {1.01, 1.01}), 0.55);
+}
+
+TEST(Spea2, FrontMutuallyNonDominated) {
+  const SchafferProblem problem;
+  Spea2 algorithm(small_config(2000));
+  const AlgorithmResult result = algorithm.run(problem, 2);
+  for (const Solution& a : result.front) {
+    for (const Solution& b : result.front) {
+      if (&a != &b) EXPECT_FALSE(dominates(a, b));
+    }
+  }
+}
+
+TEST(Spea2, ArchiveBoundRespected) {
+  const Zdt1Problem problem(8);
+  Spea2::Config config = small_config(3000);
+  config.archive_size = 25;
+  Spea2 algorithm(config);
+  const AlgorithmResult result = algorithm.run(problem, 3);
+  EXPECT_LE(result.front.size(), 25u);
+}
+
+TEST(Spea2, ConstrainedProblemFeasibleFront) {
+  const BinhKornProblem problem;
+  Spea2 algorithm(small_config(4000));
+  const AlgorithmResult result = algorithm.run(problem, 4);
+  ASSERT_FALSE(result.front.empty());
+  for (const Solution& s : result.front) EXPECT_TRUE(s.feasible());
+}
+
+TEST(Spea2, DeterministicGivenSeed) {
+  const SchafferProblem problem;
+  Spea2 algorithm(small_config(1200));
+  const AlgorithmResult a = algorithm.run(problem, 7);
+  const AlgorithmResult b = algorithm.run(problem, 7);
+  ASSERT_EQ(a.front.size(), b.front.size());
+  for (std::size_t i = 0; i < a.front.size(); ++i) {
+    EXPECT_EQ(a.front[i].objectives, b.front[i].objectives);
+  }
+}
+
+TEST(Spea2, ThreeObjectives) {
+  const Dtlz2Problem problem(7);
+  Spea2 algorithm(small_config(6000));
+  const AlgorithmResult result = algorithm.run(problem, 5);
+  ASSERT_FALSE(result.front.empty());
+  EXPECT_GT(hypervolume(result.front, {1.1, 1.1, 1.1}), 0.3);
+}
+
+}  // namespace
+}  // namespace aedbmls::moo

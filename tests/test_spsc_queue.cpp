@@ -1,0 +1,69 @@
+#include "par/spsc_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace aedbmls::par {
+namespace {
+
+TEST(SpscQueue, PushPopSingleThread) {
+  SpscQueue<int> queue(4);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_EQ(*queue.try_pop(), 1);
+  EXPECT_EQ(*queue.try_pop(), 2);
+  EXPECT_FALSE(queue.try_pop().has_value());
+}
+
+TEST(SpscQueue, CapacityRoundedToPowerOfTwo) {
+  SpscQueue<int> queue(5);
+  EXPECT_EQ(queue.capacity(), 8u);
+}
+
+TEST(SpscQueue, FullQueueRejectsPush) {
+  SpscQueue<int> queue(2);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_FALSE(queue.try_push(3));
+  (void)queue.try_pop();
+  EXPECT_TRUE(queue.try_push(3));
+}
+
+TEST(SpscQueue, WrapsAroundCorrectly) {
+  SpscQueue<int> queue(4);
+  for (int round = 0; round < 100; ++round) {
+    EXPECT_TRUE(queue.try_push(round));
+    EXPECT_EQ(*queue.try_pop(), round);
+  }
+}
+
+TEST(SpscQueue, SizeApprox) {
+  SpscQueue<int> queue(8);
+  EXPECT_EQ(queue.size_approx(), 0u);
+  queue.try_push(1);
+  queue.try_push(2);
+  EXPECT_EQ(queue.size_approx(), 2u);
+}
+
+TEST(SpscQueue, ConcurrentProducerConsumerPreservesSequence) {
+  SpscQueue<int> queue(64);
+  constexpr int kCount = 100000;
+  std::thread producer([&queue] {
+    for (int i = 0; i < kCount;) {
+      if (queue.try_push(i)) ++i;
+    }
+  });
+  int expected = 0;
+  while (expected < kCount) {
+    if (const auto v = queue.try_pop()) {
+      ASSERT_EQ(*v, expected);
+      ++expected;
+    }
+  }
+  producer.join();
+  EXPECT_EQ(expected, kCount);
+}
+
+}  // namespace
+}  // namespace aedbmls::par

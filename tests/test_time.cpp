@@ -1,0 +1,59 @@
+#include "sim/core/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aedbmls::sim {
+namespace {
+
+TEST(Time, FactoryConversions) {
+  EXPECT_EQ(seconds(1).ns(), 1000000000);
+  EXPECT_EQ(milliseconds(1).ns(), 1000000);
+  EXPECT_EQ(microseconds(1).ns(), 1000);
+  EXPECT_EQ(nanoseconds(1).ns(), 1);
+}
+
+TEST(Time, SecondsRoundTrip) {
+  EXPECT_DOUBLE_EQ(seconds(3).seconds(), 3.0);
+  EXPECT_DOUBLE_EQ(milliseconds(1500).seconds(), 1.5);
+}
+
+TEST(Time, FloatingFactoryRounds) {
+  EXPECT_EQ(seconds_d(1.5).ns(), 1500000000);
+  EXPECT_EQ(seconds_d(1e-9).ns(), 1);
+  EXPECT_EQ(seconds_d(0.49e-9).ns(), 0);
+  EXPECT_EQ(seconds_d(-1.5).ns(), -1500000000);
+}
+
+TEST(Time, Arithmetic) {
+  const Time a = seconds(2);
+  const Time b = milliseconds(500);
+  EXPECT_EQ((a + b).seconds(), 2.5);
+  EXPECT_EQ((a - b).seconds(), 1.5);
+  EXPECT_EQ((b * 4).seconds(), 2.0);
+  EXPECT_EQ(a / b, 4);
+  EXPECT_EQ((a % b).ns(), 0);
+  EXPECT_EQ((seconds(5) % seconds(2)).seconds(), 1.0);
+}
+
+TEST(Time, CompoundAssignment) {
+  Time t = seconds(1);
+  t += milliseconds(250);
+  EXPECT_EQ(t.ns(), 1250000000);
+  t -= milliseconds(250);
+  EXPECT_EQ(t, seconds(1));
+}
+
+TEST(Time, Comparisons) {
+  EXPECT_LT(milliseconds(999), seconds(1));
+  EXPECT_GT(seconds(1), microseconds(999999));
+  EXPECT_EQ(seconds(1), milliseconds(1000));
+  EXPECT_GE(seconds(1), milliseconds(1000));
+  EXPECT_LE(Time{}, seconds(0));
+}
+
+TEST(Time, DefaultIsZero) {
+  EXPECT_EQ(Time{}.ns(), 0);
+}
+
+}  // namespace
+}  // namespace aedbmls::sim

@@ -1,0 +1,123 @@
+#include "moo/stats/wilcoxon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace aedbmls::moo {
+namespace {
+
+TEST(Wilcoxon, IdenticalSamplesNotSignificant) {
+  const std::vector<double> a{1.0, 2.0, 3.0, 4.0, 5.0};
+  const WilcoxonResult r = wilcoxon_rank_sum(a, a);
+  EXPECT_GT(r.p_value, 0.9);
+  EXPECT_NEAR(r.z, 0.0, 1e-9);
+}
+
+TEST(Wilcoxon, DisjointSamplesHighlySignificant) {
+  std::vector<double> low;
+  std::vector<double> high;
+  for (int i = 0; i < 20; ++i) {
+    low.push_back(static_cast<double>(i));
+    high.push_back(static_cast<double>(i) + 100.0);
+  }
+  const WilcoxonResult r = wilcoxon_rank_sum(low, high);
+  EXPECT_LT(r.p_value, 1e-6);
+  // U of the first sample is 0 when every low < every high.
+  EXPECT_DOUBLE_EQ(r.u, 0.0);
+}
+
+TEST(Wilcoxon, MatchesReferenceZForKnownData) {
+  // Pooled ranks: 1,2,3,4 | 4.5->5, 5->6 | 6..9 -> 7..10.
+  // R1 = 1+2+3+4+6 = 16; U = 16 - 15 = 1; sigma = sqrt(25*11/12) = 4.787;
+  // z = (1 - 12.5 + 0.5)/4.787 = -2.2978; two-sided p (normal) = 0.02157
+  // (matches scipy.stats.mannwhitneyu with continuity, normal method).
+  const std::vector<double> a{1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<double> b{4.5, 6.0, 7.0, 8.0, 9.0};
+  const WilcoxonResult r = wilcoxon_rank_sum(a, b);
+  EXPECT_DOUBLE_EQ(r.u, 1.0);
+  EXPECT_NEAR(std::fabs(r.z), 2.2978, 0.001);
+  EXPECT_NEAR(r.p_value, 0.02157, 0.0005);
+}
+
+TEST(Wilcoxon, TieCorrectionKeepsPInRange) {
+  const std::vector<double> a{1.0, 1.0, 1.0, 2.0, 2.0};
+  const std::vector<double> b{1.0, 2.0, 2.0, 2.0, 3.0};
+  const WilcoxonResult r = wilcoxon_rank_sum(a, b);
+  EXPECT_GE(r.p_value, 0.0);
+  EXPECT_LE(r.p_value, 1.0);
+}
+
+TEST(Wilcoxon, AllValuesEqualGivesPOne) {
+  const std::vector<double> a{2.0, 2.0, 2.0};
+  const std::vector<double> b{2.0, 2.0, 2.0};
+  const WilcoxonResult r = wilcoxon_rank_sum(a, b);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+TEST(Wilcoxon, SymmetricInZ) {
+  const std::vector<double> a{1.0, 2.0, 3.0, 4.0, 8.0};
+  const std::vector<double> b{5.0, 6.0, 7.0, 9.0, 10.0};
+  const WilcoxonResult ab = wilcoxon_rank_sum(a, b);
+  const WilcoxonResult ba = wilcoxon_rank_sum(b, a);
+  EXPECT_NEAR(ab.z, -ba.z, 1e-9);
+  EXPECT_NEAR(ab.p_value, ba.p_value, 1e-9);
+}
+
+TEST(Wilcoxon, FalsePositiveRateNearAlpha) {
+  // Same-distribution samples must reject ~5% of the time at alpha = 0.05.
+  Xoshiro256 rng(123);
+  int rejections = 0;
+  constexpr int kTrials = 400;
+  for (int t = 0; t < kTrials; ++t) {
+    std::vector<double> a;
+    std::vector<double> b;
+    for (int i = 0; i < 30; ++i) {
+      a.push_back(rng.normal());
+      b.push_back(rng.normal());
+    }
+    if (wilcoxon_rank_sum(a, b).p_value < 0.05) ++rejections;
+  }
+  const double rate = static_cast<double>(rejections) / kTrials;
+  EXPECT_GT(rate, 0.01);
+  EXPECT_LT(rate, 0.10);
+}
+
+TEST(CompareSamples, DirectionWithSmallerIsBetter) {
+  std::vector<double> better;
+  std::vector<double> worse;
+  for (int i = 0; i < 30; ++i) {
+    better.push_back(0.01 * i);
+    worse.push_back(1.0 + 0.01 * i);
+  }
+  EXPECT_EQ(compare_samples(better, worse, /*smaller_is_better=*/true),
+            Comparison::kBetter);
+  EXPECT_EQ(compare_samples(worse, better, /*smaller_is_better=*/true),
+            Comparison::kWorse);
+  // Hypervolume direction: larger wins.
+  EXPECT_EQ(compare_samples(worse, better, /*smaller_is_better=*/false),
+            Comparison::kBetter);
+}
+
+TEST(CompareSamples, NoSignificanceForOverlappingSamples) {
+  Xoshiro256 rng(7);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 30; ++i) {
+    a.push_back(rng.normal());
+    b.push_back(rng.normal());
+  }
+  // Overwhelmingly likely not significant for iid normals with this seed.
+  EXPECT_EQ(compare_samples(a, b, true), Comparison::kNoDifference);
+}
+
+TEST(CompareSamples, SymbolRendering) {
+  EXPECT_STREQ(comparison_symbol(Comparison::kBetter), "N");
+  EXPECT_STREQ(comparison_symbol(Comparison::kWorse), "v");
+  EXPECT_STREQ(comparison_symbol(Comparison::kNoDifference), "-");
+}
+
+}  // namespace
+}  // namespace aedbmls::moo
