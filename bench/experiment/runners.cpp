@@ -105,7 +105,7 @@ aedb::AedbTuningProblem::Config problem_config(int density, const Scale& scale) 
 
 std::unique_ptr<moo::Algorithm> make_algorithm(const std::string& name,
                                                const Scale& scale,
-                                               par::ThreadPool* evaluator) {
+                                               const moo::EvaluationEngine* evaluator) {
   if (name == "NSGAII") {
     moo::Nsga2::Config config;
     // Ruiz et al. 2012 used population 100; shrink with the budget so a
@@ -169,7 +169,7 @@ std::unique_ptr<moo::Algorithm> make_algorithm(const std::string& name,
 
 std::vector<RunRecord> run_repeats(const std::string& algorithm, int density,
                                    const Scale& scale,
-                                   par::ThreadPool* evaluator) {
+                                   const moo::EvaluationEngine* evaluator) {
   const aedb::AedbTuningProblem problem(problem_config(density, scale));
   std::vector<RunRecord> records;
   records.reserve(scale.runs);
@@ -203,7 +203,10 @@ std::vector<IndicatorSample> collect_indicator_samples(
     }
   }
 
+  // One pool + engine for the whole experiment: every generational EA run
+  // batches its population evaluations through here.
   par::ThreadPool pool;
+  const moo::EvaluationEngine engine(&pool);
   std::vector<IndicatorSample> samples;
   for (const int density : scale.densities) {
     // All runs of all algorithms on this density.
@@ -212,7 +215,7 @@ std::vector<IndicatorSample> collect_indicator_samples(
       std::printf("[run] %-18s density %d: %zu runs x %zu evals...\n",
                   algorithm.c_str(), density, scale.runs, scale.evals);
       std::fflush(stdout);
-      auto batch = run_repeats(algorithm, density, scale, &pool);
+      auto batch = run_repeats(algorithm, density, scale, &engine);
       records.insert(records.end(), std::make_move_iterator(batch.begin()),
                      std::make_move_iterator(batch.end()));
     }

@@ -13,7 +13,7 @@
 #include "aedb/tuning_problem.hpp"
 #include "experiment/scale.hpp"
 #include "moo/algorithms/algorithm.hpp"
-#include "par/thread_pool.hpp"
+#include "moo/core/evaluation_engine.hpp"
 
 namespace aedbmls::expt {
 
@@ -30,12 +30,13 @@ inline const std::vector<std::string>& paper_algorithms() {
 
 /// Instantiates an algorithm by name ("NSGAII", "CellDE", "AEDB-MLS",
 /// "AEDB-MLS-sym", "AEDB-MLS-unguided", "AEDB-MLS-pervar", "CellDE+MLS",
-/// "Random") configured per the paper and the scale.  `evaluator` is used by
-/// the generational EAs when non-null (the paper ran them serially; see
+/// "Random") configured per the paper and the scale.  `evaluator` batches
+/// the generational EAs' population evaluations through an
+/// `EvaluationEngine` when non-null (the paper ran them serially; see
 /// EXPERIMENTS.md for where we deviate and why).
 [[nodiscard]] std::unique_ptr<moo::Algorithm> make_algorithm(
     const std::string& name, const Scale& scale,
-    par::ThreadPool* evaluator = nullptr);
+    const moo::EvaluationEngine* evaluator = nullptr);
 
 /// One (algorithm, density, run) outcome.
 struct RunRecord {
@@ -50,7 +51,7 @@ struct RunRecord {
 /// Executes `scale.runs` independent runs of `algorithm` on `density`.
 [[nodiscard]] std::vector<RunRecord> run_repeats(const std::string& algorithm,
                                                  int density, const Scale& scale,
-                                                 par::ThreadPool* evaluator);
+                                                 const moo::EvaluationEngine* evaluator);
 
 /// Normalised quality indicators of one run against a reference front.
 struct IndicatorSample {

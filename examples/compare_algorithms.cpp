@@ -34,13 +34,14 @@ int main(int argc, char** argv) {
   const aedb::AedbTuningProblem problem(problem_config);
 
   par::ThreadPool pool;  // parallel evaluation for the generational EAs
+  const moo::EvaluationEngine engine(&pool);
 
   std::vector<std::unique_ptr<moo::Algorithm>> algorithms;
   {
     moo::Nsga2::Config config;
     config.population_size = 20;
     config.max_evaluations = evals;
-    config.evaluator = &pool;
+    config.evaluator = &engine;
     algorithms.push_back(std::make_unique<moo::Nsga2>(config));
   }
   {
@@ -48,7 +49,7 @@ int main(int argc, char** argv) {
     config.grid_width = 5;
     config.grid_height = 4;
     config.max_evaluations = evals;
-    config.evaluator = &pool;
+    config.evaluator = &engine;
     algorithms.push_back(std::make_unique<moo::CellDe>(config));
   }
   {
@@ -63,7 +64,7 @@ int main(int argc, char** argv) {
   {
     moo::RandomSearch::Config config;
     config.max_evaluations = evals;
-    config.evaluator = &pool;
+    config.evaluator = &engine;
     algorithms.push_back(std::make_unique<moo::RandomSearch>(config));
   }
 

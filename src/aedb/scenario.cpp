@@ -4,8 +4,36 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "sim/mobility/placement.hpp"
 
 namespace aedbmls::aedb {
+
+const std::vector<sim::Vec2>& ScenarioWorkspace::positions_for(
+    const sim::NetworkConfig& net) {
+  for (const Topology& t : cache_) {
+    if (t.seed == net.seed && t.network_index == net.network_index &&
+        t.node_count == net.node_count && t.area_width == net.area_width &&
+        t.area_height == net.area_height) {
+      ++stats_.hits;
+      return t.positions;
+    }
+  }
+  ++stats_.misses;
+  if (cache_.size() >= kCapacity) cache_.erase(cache_.begin());
+  Topology t;
+  t.seed = net.seed;
+  t.network_index = net.network_index;
+  t.node_count = net.node_count;
+  t.area_width = net.area_width;
+  t.area_height = net.area_height;
+  // Exactly the draw Network's constructor would make (same stream id).
+  const CounterRng network_stream(net.seed, {net.network_index});
+  t.positions = sim::uniform_positions(network_stream.child(0x905e0bULL),
+                                       net.node_count, net.area_width,
+                                       net.area_height);
+  cache_.push_back(std::move(t));
+  return cache_.back().positions;
+}
 
 std::size_t nodes_for_density(int devices_per_km2, double area_width,
                               double area_height) {
@@ -24,15 +52,22 @@ ScenarioConfig make_paper_scenario(int devices_per_km2, std::uint64_t seed,
 }
 
 ScenarioResult run_scenario(const ScenarioConfig& config,
-                            const AedbParams& params) {
+                            const AedbParams& params,
+                            ScenarioWorkspace* workspace) {
   // Note: beacon_start may be *after* broadcast_at — a valid (if unusual)
   // configuration in which forwarders have no neighbor knowledge and fall
   // back to default-power transmissions (exercised by the test suite).
   AEDB_REQUIRE(config.end_at > config.broadcast_at, "empty broadcast window");
 
+  sim::NetworkConfig network_config = config.network;
+  if (workspace != nullptr && network_config.preset_positions == nullptr) {
+    network_config.preset_positions =
+        &workspace->positions_for(network_config);
+  }
+
   sim::Simulator simulator(
       CounterRng(config.network.seed, {config.network.network_index}).key());
-  sim::Network network(simulator, config.network);
+  sim::Network network(simulator, network_config);
   const std::size_t n = network.size();
 
   BroadcastStatsCollector collector;

@@ -8,6 +8,7 @@
 /// the broadcast starts at t = 30 s, and the simulation ends at t = 40 s.
 
 #include <cstdint>
+#include <vector>
 
 #include "aedb/aedb_app.hpp"
 #include "aedb/aedb_params.hpp"
@@ -44,9 +45,46 @@ struct ScenarioResult {
   std::uint64_t events_executed = 0;  ///< simulator throughput metric
 };
 
+/// Per-worker reusable evaluation state.  The paper's setup judges every
+/// candidate configuration on the *same* fixed networks, so their topologies
+/// (placement draws) are pure functions of (seed, network_index) — this
+/// cache builds each one once per worker thread instead of once per
+/// `evaluate()` call.  Bitwise-neutral: cached positions are exactly what
+/// `Network` would re-derive.  Not thread-safe; use one instance per thread
+/// (see `AedbTuningProblem::evaluate_batch`).
+class ScenarioWorkspace {
+ public:
+  /// Positions for `net`'s topology, computed on first use and cached.
+  /// The reference stays valid until the next call (FIFO eviction).
+  [[nodiscard]] const std::vector<sim::Vec2>& positions_for(
+      const sim::NetworkConfig& net);
+
+  struct Stats {
+    std::uint64_t hits = 0;    ///< runs served from the topology cache
+    std::uint64_t misses = 0;  ///< topologies built
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Topology {
+    std::uint64_t seed = 0;
+    std::uint64_t network_index = 0;
+    std::size_t node_count = 0;
+    double area_width = 0.0;
+    double area_height = 0.0;
+    std::vector<sim::Vec2> positions;
+  };
+  static constexpr std::size_t kCapacity = 64;  ///< > densities x networks
+
+  std::vector<Topology> cache_;
+  Stats stats_{};
+};
+
 /// Runs the scenario once with the given protocol configuration.
-/// Deterministic: identical (config, params) always yields identical stats.
+/// Deterministic: identical (config, params) always yields identical stats,
+/// with or without a workspace (the cache only skips re-deriving placement).
 [[nodiscard]] ScenarioResult run_scenario(const ScenarioConfig& config,
-                                          const AedbParams& params);
+                                          const AedbParams& params,
+                                          ScenarioWorkspace* workspace = nullptr);
 
 }  // namespace aedbmls::aedb

@@ -6,6 +6,17 @@
 #include "common/assert.hpp"
 
 namespace aedbmls::aedb {
+namespace {
+
+/// One reusable workspace per evaluating thread.  Topology cache entries
+/// are keyed by everything placement depends on, so sharing the workspace
+/// across problem instances (and problem lifetimes) is safe.
+ScenarioWorkspace& thread_workspace() {
+  thread_local ScenarioWorkspace workspace;
+  return workspace;
+}
+
+}  // namespace
 
 AedbTuningProblem::AedbTuningProblem(Config config) : config_(config) {
   AEDB_REQUIRE(config_.network_count >= 1, "need at least one network");
@@ -26,12 +37,12 @@ std::pair<double, double> AedbTuningProblem::bounds(std::size_t dim) const {
 }
 
 AedbTuningProblem::Detail AedbTuningProblem::evaluate_detail(
-    const AedbParams& params) const {
+    const AedbParams& params, ScenarioWorkspace* workspace) const {
   Detail detail;
   for (std::size_t net = 0; net < config_.network_count; ++net) {
     ScenarioConfig scenario = config_.scenario;
     scenario.network.network_index = net;
-    const ScenarioResult run = run_scenario(scenario, params);
+    const ScenarioResult run = run_scenario(scenario, params, workspace);
     detail.mean_energy_dbm += run.stats.energy_dbm_sum;
     detail.mean_coverage += static_cast<double>(run.stats.coverage);
     detail.mean_forwardings += static_cast<double>(run.stats.forwardings);
@@ -50,7 +61,7 @@ AedbTuningProblem::Detail AedbTuningProblem::evaluate_detail(
 moo::Problem::Result AedbTuningProblem::evaluate(
     const std::vector<double>& x) const {
   const AedbParams params = AedbParams::from_vector(x);
-  const Detail detail = evaluate_detail(params);
+  const Detail detail = evaluate_detail(params, &thread_workspace());
   evaluation_count_.fetch_add(1, std::memory_order_relaxed);
 
   Result result;
@@ -59,6 +70,16 @@ moo::Problem::Result AedbTuningProblem::evaluate(
   result.constraint_violation =
       std::max(0.0, detail.mean_broadcast_time_s - config_.bt_limit_s);
   return result;
+}
+
+void AedbTuningProblem::evaluate_batch(std::span<moo::Solution> batch) const {
+  // `evaluate` already routes through the calling thread's workspace, so the
+  // whole batch shares one topology cache; the override exists so the intent
+  // is explicit and so future per-batch state (e.g. pooled simulators) has a
+  // seam that EvaluationEngine chunks land on.
+  for (moo::Solution& s : batch) {
+    if (!s.evaluated) evaluate_into(s);
+  }
 }
 
 std::string AedbTuningProblem::name() const {

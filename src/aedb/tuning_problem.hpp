@@ -13,6 +13,10 @@
 ///
 /// `evaluate` is const and thread-safe: every call builds its own
 /// simulators, which is what lets AEDB-MLS run 96 concurrent evaluators.
+/// The fixed network *topologies* are the exception — they are pure data,
+/// so each worker thread caches them in a `ScenarioWorkspace` and reuses
+/// them across evaluations (`evaluate_batch`) instead of re-deriving the
+/// placement on every call.
 
 #include <atomic>
 #include <cstdint>
@@ -38,6 +42,13 @@ class AedbTuningProblem final : public moo::Problem {
   [[nodiscard]] std::size_t objective_count() const override { return 3; }
   [[nodiscard]] std::pair<double, double> bounds(std::size_t dim) const override;
   [[nodiscard]] Result evaluate(const std::vector<double>& x) const override;
+
+  /// Batched evaluation with per-thread scenario reuse: the worker's
+  /// `ScenarioWorkspace` keeps the fixed evaluation-network topologies
+  /// alive across the whole batch (and across batches on the same thread).
+  /// Results are bitwise-identical to per-solution `evaluate()` calls.
+  void evaluate_batch(std::span<moo::Solution> batch) const override;
+
   [[nodiscard]] std::string name() const override;
 
   /// Full per-objective detail of one configuration (used by the benches
@@ -49,7 +60,10 @@ class AedbTuningProblem final : public moo::Problem {
     double mean_broadcast_time_s = 0.0;
     double mean_energy_mj = 0.0;
   };
-  [[nodiscard]] Detail evaluate_detail(const AedbParams& params) const;
+  /// `workspace` (optional) reuses cached network topologies across calls;
+  /// identical results either way.
+  [[nodiscard]] Detail evaluate_detail(const AedbParams& params,
+                                       ScenarioWorkspace* workspace = nullptr) const;
 
   /// Number of evaluate() calls so far (thread-safe; benches report it).
   [[nodiscard]] std::uint64_t evaluations() const noexcept {

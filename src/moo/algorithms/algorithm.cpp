@@ -1,0 +1,22 @@
+#include "moo/algorithms/algorithm.hpp"
+
+namespace aedbmls::moo {
+
+void evaluate_population(const Problem& problem, std::vector<Solution>& batch,
+                         const EvaluationEngine* engine) {
+  if (engine == nullptr) {
+    // Stateless apart from counters, so one shared sequential engine is safe
+    // from any thread.
+    static const EvaluationEngine sequential;
+    engine = &sequential;
+  }
+  engine->evaluate(problem, batch);
+}
+
+std::vector<std::pair<double, double>> bounds_vector(const Problem& problem) {
+  std::vector<std::pair<double, double>> bounds(problem.dimensions());
+  for (std::size_t d = 0; d < bounds.size(); ++d) bounds[d] = problem.bounds(d);
+  return bounds;
+}
+
+}  // namespace aedbmls::moo

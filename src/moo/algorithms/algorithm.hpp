@@ -6,9 +6,9 @@
 #include <string>
 #include <vector>
 
+#include "moo/core/evaluation_engine.hpp"
 #include "moo/core/problem.hpp"
 #include "moo/core/solution.hpp"
-#include "par/thread_pool.hpp"
 
 namespace aedbmls::moo {
 
@@ -22,19 +22,24 @@ class Algorithm {
  public:
   virtual ~Algorithm() = default;
 
-  /// Runs to completion.  Deterministic given (problem, seed) — up to
-  /// thread scheduling when a parallel evaluator is configured.
+  /// Runs to completion.  The generational algorithms are deterministic
+  /// given (problem, seed), including under a parallel evaluator:
+  /// `EvaluationEngine` partitions populations by index, so results never
+  /// depend on thread count or scheduling.  `core::AedbMls` is the
+  /// exception — its asynchronous workers race on the shared archive by
+  /// design (the paper's model), so only its statistics are reproducible.
   [[nodiscard]] virtual AlgorithmResult run(const Problem& problem,
                                             std::uint64_t seed) = 0;
 
   [[nodiscard]] virtual std::string name() const = 0;
 };
 
-/// Evaluates every unevaluated solution in `batch`; uses `pool` when
-/// non-null (the paper ran its MOEAs serially — benches pass a pool only
-/// where EXPERIMENTS.md says so).
-void evaluate_batch(const Problem& problem, std::vector<Solution>& batch,
-                    par::ThreadPool* pool);
+/// Evaluates every unevaluated solution in `batch` through `engine`; a null
+/// engine falls back to a shared pool-less (sequential) EvaluationEngine, so
+/// every population evaluation — serial or parallel — flows through the
+/// same batched entry point and per-thread simulator reuse.
+void evaluate_population(const Problem& problem, std::vector<Solution>& batch,
+                         const EvaluationEngine* engine);
 
 /// Variable bounds of a problem as a vector (operator-friendly form).
 [[nodiscard]] std::vector<std::pair<double, double>> bounds_vector(

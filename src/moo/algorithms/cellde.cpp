@@ -26,7 +26,7 @@ AlgorithmResult CellDe::run(const Problem& problem, std::uint64_t seed) {
 
   std::vector<Solution> grid(n);
   for (Solution& s : grid) s.x = problem.random_point(rng);
-  evaluate_batch(problem, grid, config_.evaluator);
+  evaluate_population(problem, grid, config_.evaluator);
   std::size_t evaluations = n;
 
   CrowdingArchive archive(config_.archive_capacity);
@@ -68,7 +68,7 @@ AlgorithmResult CellDe::run(const Problem& problem, std::uint64_t seed) {
                         grid[picks[1]].x, config_.de, bounds, rng);
       polynomial_mutation(trials[cell].x, mutation, bounds, rng);
     }
-    evaluate_batch(problem, trials, config_.evaluator);
+    evaluate_population(problem, trials, config_.evaluator);
     evaluations += n;
 
     // Replacement: trial wins when it dominates; on mutual non-dominance a

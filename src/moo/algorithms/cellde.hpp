@@ -32,7 +32,7 @@ class CellDe final : public Algorithm {
     PolynomialMutationParams mutation{0.0, 20.0};  ///< probability 0 => 1/n
     std::size_t archive_capacity = 100;
     std::size_t feedback = 20;  ///< archive members re-injected per sweep
-    par::ThreadPool* evaluator = nullptr;
+    const EvaluationEngine* evaluator = nullptr;
   };
 
   explicit CellDe(Config config) : config_(config) {}

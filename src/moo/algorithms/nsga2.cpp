@@ -10,29 +10,6 @@
 
 namespace aedbmls::moo {
 
-void evaluate_batch(const Problem& problem, std::vector<Solution>& batch,
-                    par::ThreadPool* pool) {
-  if (pool == nullptr) {
-    for (Solution& s : batch) {
-      if (!s.evaluated) problem.evaluate_into(s);
-    }
-    return;
-  }
-  std::vector<std::size_t> todo;
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    if (!batch[i].evaluated) todo.push_back(i);
-  }
-  pool->parallel_for(todo.size(), [&](std::size_t k) {
-    problem.evaluate_into(batch[todo[k]]);
-  });
-}
-
-std::vector<std::pair<double, double>> bounds_vector(const Problem& problem) {
-  std::vector<std::pair<double, double>> bounds(problem.dimensions());
-  for (std::size_t d = 0; d < bounds.size(); ++d) bounds[d] = problem.bounds(d);
-  return bounds;
-}
-
 AlgorithmResult Nsga2::run(const Problem& problem, std::uint64_t seed) {
   const auto start = std::chrono::steady_clock::now();
   AEDB_REQUIRE(config_.population_size >= 4, "population too small");
@@ -47,7 +24,7 @@ AlgorithmResult Nsga2::run(const Problem& problem, std::uint64_t seed) {
   // Initial population.
   std::vector<Solution> population(config_.population_size);
   for (Solution& s : population) s.x = problem.random_point(rng);
-  evaluate_batch(problem, population, config_.evaluator);
+  evaluate_population(problem, population, config_.evaluator);
   std::size_t evaluations = population.size();
 
   while (evaluations < config_.max_evaluations) {
@@ -79,7 +56,7 @@ AlgorithmResult Nsga2::run(const Problem& problem, std::uint64_t seed) {
         offspring.push_back(std::move(s2));
       }
     }
-    evaluate_batch(problem, offspring, config_.evaluator);
+    evaluate_population(problem, offspring, config_.evaluator);
     evaluations += offspring.size();
 
     // Environmental selection over the union.

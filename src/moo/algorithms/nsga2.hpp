@@ -18,7 +18,7 @@ class Nsga2 final : public Algorithm {
     std::size_t max_evaluations = 25000;
     SbxParams sbx{};                       ///< pc=0.9, eta_c=20
     PolynomialMutationParams mutation{0.0, 20.0};  ///< probability 0 => 1/n
-    par::ThreadPool* evaluator = nullptr;  ///< optional parallel evaluation
+    const EvaluationEngine* evaluator = nullptr;  ///< optional batched/parallel evaluation
   };
 
   explicit Nsga2(Config config) : config_(config) {}

@@ -17,7 +17,7 @@ AlgorithmResult RandomSearch::run(const Problem& problem, std::uint64_t seed) {
         std::min(config_.batch, config_.max_evaluations - evaluations);
     std::vector<Solution> batch(count);
     for (Solution& s : batch) s.x = problem.random_point(rng);
-    evaluate_batch(problem, batch, config_.evaluator);
+    evaluate_population(problem, batch, config_.evaluator);
     evaluations += count;
     for (const Solution& s : batch) archive.try_insert(s);
   }

@@ -13,7 +13,7 @@ class RandomSearch final : public Algorithm {
     std::size_t max_evaluations = 1000;
     std::size_t archive_capacity = 100;
     std::size_t batch = 50;                ///< evaluation batch size
-    par::ThreadPool* evaluator = nullptr;
+    const EvaluationEngine* evaluator = nullptr;
   };
 
   explicit RandomSearch(Config config) : config_(config) {}

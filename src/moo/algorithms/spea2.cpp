@@ -96,7 +96,7 @@ AlgorithmResult Spea2::run(const Problem& problem, std::uint64_t seed) {
 
   std::vector<Solution> population(config_.population_size);
   for (Solution& s : population) s.x = problem.random_point(rng);
-  evaluate_batch(problem, population, config_.evaluator);
+  evaluate_population(problem, population, config_.evaluator);
   std::size_t evaluations = population.size();
   std::vector<Solution> archive;
 
@@ -148,7 +148,7 @@ AlgorithmResult Spea2::run(const Problem& problem, std::uint64_t seed) {
         offspring.push_back(std::move(s2));
       }
     }
-    evaluate_batch(problem, offspring, config_.evaluator);
+    evaluate_population(problem, offspring, config_.evaluator);
     evaluations += offspring.size();
     population = std::move(offspring);
   }

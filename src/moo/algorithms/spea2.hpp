@@ -22,7 +22,7 @@ class Spea2 final : public Algorithm {
     std::size_t max_evaluations = 25000;
     SbxParams sbx{};
     PolynomialMutationParams mutation{0.0, 20.0};  ///< probability 0 => 1/n
-    par::ThreadPool* evaluator = nullptr;
+    const EvaluationEngine* evaluator = nullptr;
   };
 
   explicit Spea2(Config config) : config_(config) {}

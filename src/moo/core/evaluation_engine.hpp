@@ -1,0 +1,85 @@
+#pragma once
+
+/// Batched, thread-pooled population evaluation — the simulate-and-score
+/// hot path of every generational algorithm in this codebase.
+///
+/// The engine splits a population into contiguous sub-spans and dispatches
+/// each to `Problem::evaluate_batch` on a `par::ThreadPool` worker.  Because
+/// the sub-spans are disjoint and a solution's result is a pure function of
+/// its decision vector (the `Problem` contract), the outcome is **bitwise
+/// identical** for any thread count and any chunking — determinism is a
+/// property of the partitioning scheme, not of scheduling luck:
+///
+///  * work is assigned by solution index, never work-stolen mid-solution;
+///  * no shared mutable state crosses chunk boundaries;
+///  * problems that need randomness inside an evaluation must derive it
+///    from per-solution data with counter-based streams (`CounterRng`), as
+///    `AedbTuningProblem` does from its (seed, network_index) pairs.
+///
+/// A pool-less engine (`EvaluationEngine{}`) evaluates sequentially on the
+/// calling thread through the same `evaluate_batch` entry point, so batch
+/// overrides (per-thread simulator reuse) benefit serial runs too.
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "moo/core/problem.hpp"
+#include "moo/core/solution.hpp"
+#include "par/thread_pool.hpp"
+
+namespace aedbmls::moo {
+
+class EvaluationEngine {
+ public:
+  struct Config {
+    /// Pool to spread batches over; null evaluates on the calling thread.
+    par::ThreadPool* pool = nullptr;
+    /// Smallest sub-span worth a task dispatch.  Cheap synthetic problems
+    /// want large chunks; simulation-backed problems want fine ones.
+    std::size_t min_chunk = 1;
+    /// Target tasks per pool thread (load-balancing oversubscription).
+    std::size_t tasks_per_thread = 4;
+  };
+
+  EvaluationEngine() = default;
+  explicit EvaluationEngine(par::ThreadPool* pool) { config_.pool = pool; }
+  explicit EvaluationEngine(Config config) : config_(config) {}
+
+  /// Evaluates every not-yet-evaluated solution in `batch`.  Results are
+  /// independent of the engine's thread count (see file comment).
+  void evaluate(const Problem& problem, std::span<Solution> batch) const;
+
+  /// Convenience overload for the common population container.
+  void evaluate(const Problem& problem, std::vector<Solution>& batch) const {
+    evaluate(problem, std::span<Solution>(batch));
+  }
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+  /// Number of worker threads batches are spread over (1 when pool-less).
+  [[nodiscard]] std::size_t concurrency() const noexcept {
+    return config_.pool != nullptr ? config_.pool->thread_count() : 1;
+  }
+
+  /// Cumulative counters (thread-safe; benches report throughput with them).
+  struct Stats {
+    std::uint64_t solutions = 0;  ///< solutions actually evaluated
+    std::uint64_t batches = 0;    ///< evaluate() calls
+    std::uint64_t chunks = 0;     ///< evaluate_batch dispatches
+  };
+  [[nodiscard]] Stats stats() const noexcept {
+    return {solutions_.load(std::memory_order_relaxed),
+            batches_.load(std::memory_order_relaxed),
+            chunks_.load(std::memory_order_relaxed)};
+  }
+
+ private:
+  Config config_{};
+  mutable std::atomic<std::uint64_t> solutions_{0};
+  mutable std::atomic<std::uint64_t> batches_{0};
+  mutable std::atomic<std::uint64_t> chunks_{0};
+};
+
+}  // namespace aedbmls::moo

@@ -23,6 +23,12 @@ void Problem::clamp(std::vector<double>& x) const {
   }
 }
 
+void Problem::evaluate_batch(std::span<Solution> batch) const {
+  for (Solution& s : batch) {
+    if (!s.evaluated) evaluate_into(s);
+  }
+}
+
 void Problem::evaluate_into(Solution& s) const {
   Result r = evaluate(s.x);
   AEDB_REQUIRE(r.objectives.size() == objective_count(),

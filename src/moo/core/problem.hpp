@@ -6,6 +6,7 @@
 /// worker threads concurrently (96 in the paper's setup).  Expensive state
 /// (e.g. simulators) must live on the evaluating thread's stack.
 
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -35,6 +36,19 @@ class Problem {
 
   /// Evaluates a decision vector.  Thread-safe.
   [[nodiscard]] virtual Result evaluate(const std::vector<double>& x) const = 0;
+
+  /// Evaluates every not-yet-evaluated solution in `batch`, in index order.
+  /// The default delegates to `evaluate_into` per solution; problems with
+  /// expensive per-evaluation state (simulators, caches) override this to
+  /// amortise that state across the whole batch.
+  ///
+  /// Contract (relied on by `EvaluationEngine`):
+  ///  * results must be identical to per-solution `evaluate()` calls — a
+  ///    solution's outcome may depend only on its decision vector, never on
+  ///    batch composition, batch order, or the calling thread;
+  ///  * the override must be thread-safe for disjoint sub-spans: the engine
+  ///    invokes it concurrently on non-overlapping slices of a population.
+  virtual void evaluate_batch(std::span<Solution> batch) const;
 
   /// Display name for tables.
   [[nodiscard]] virtual std::string name() const { return "problem"; }

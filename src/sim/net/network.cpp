@@ -67,9 +67,18 @@ Network::Network(Simulator& simulator, const NetworkConfig& config)
 
   // Placement and per-node mobility derive from (seed, network_index) only.
   const CounterRng network_stream(config_.seed, {config_.network_index});
-  const auto positions =
-      uniform_positions(network_stream.child(0x905e0bULL), config_.node_count,
-                        config_.area_width, config_.area_height);
+  std::vector<Vec2> drawn_positions;
+  if (config_.preset_positions == nullptr) {
+    drawn_positions =
+        uniform_positions(network_stream.child(0x905e0bULL), config_.node_count,
+                          config_.area_width, config_.area_height);
+  } else {
+    AEDB_REQUIRE(config_.preset_positions->size() == config_.node_count,
+                 "preset placement does not match node_count");
+  }
+  const std::vector<Vec2>& positions = config_.preset_positions != nullptr
+                                           ? *config_.preset_positions
+                                           : drawn_positions;
 
   nodes_.reserve(config_.node_count);
   for (std::size_t i = 0; i < config_.node_count; ++i) {
@@ -85,6 +94,10 @@ Network::Network(Simulator& simulator, const NetworkConfig& config)
     node->attach_device(std::move(device));
     nodes_.push_back(std::move(node));
   }
+
+  // The borrowed placement is only guaranteed to live through construction;
+  // don't let config() leak a pointer that may dangle afterwards.
+  config_.preset_positions = nullptr;
 }
 
 }  // namespace aedbmls::sim

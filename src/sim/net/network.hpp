@@ -55,6 +55,14 @@ struct NetworkConfig {
 
   std::uint64_t seed = 1;          ///< master experiment seed
   std::uint64_t network_index = 0; ///< which of the fixed evaluation networks
+
+  /// Optional externally-cached placement.  Must hold exactly `node_count`
+  /// positions equal to what `uniform_positions` would draw for this
+  /// (seed, network_index) — callers (e.g. `aedb::ScenarioWorkspace`) use it
+  /// to build a fixed evaluation network once per worker thread instead of
+  /// re-deriving the topology on every evaluation.  Not owned; must outlive
+  /// the `Network` constructor call.
+  const std::vector<Vec2>* preset_positions = nullptr;
 };
 
 class Network {

@@ -34,7 +34,7 @@ TEST(CellDe, FrontMutuallyNonDominated) {
   const AlgorithmResult result = algorithm.run(problem, 2);
   for (const Solution& a : result.front) {
     for (const Solution& b : result.front) {
-      if (&a != &b) EXPECT_FALSE(dominates(a, b));
+      if (&a != &b) { EXPECT_FALSE(dominates(a, b)); }
     }
   }
 }

@@ -32,7 +32,7 @@ TEST(Hybrid, RunsBothPhasesAndMergesFronts) {
   EXPECT_GT(result.evaluations, 500u);
   for (const moo::Solution& a : result.front) {
     for (const moo::Solution& b : result.front) {
-      if (&a != &b) EXPECT_FALSE(moo::dominates(a, b));
+      if (&a != &b) { EXPECT_FALSE(moo::dominates(a, b)); }
     }
   }
 }

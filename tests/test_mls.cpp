@@ -30,7 +30,7 @@ TEST(Mls, RunsAndReturnsNonDominatedFront) {
   ASSERT_FALSE(result.front.empty());
   for (const moo::Solution& a : result.front) {
     for (const moo::Solution& b : result.front) {
-      if (&a != &b) EXPECT_FALSE(moo::dominates(a, b));
+      if (&a != &b) { EXPECT_FALSE(moo::dominates(a, b)); }
     }
   }
 }

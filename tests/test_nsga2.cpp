@@ -36,7 +36,7 @@ TEST(Nsga2, FrontIsMutuallyNonDominated) {
   const AlgorithmResult result = algorithm.run(problem, 2);
   for (const Solution& a : result.front) {
     for (const Solution& b : result.front) {
-      if (&a != &b) EXPECT_FALSE(dominates(a, b));
+      if (&a != &b) { EXPECT_FALSE(dominates(a, b)); }
     }
   }
 }
@@ -86,8 +86,9 @@ TEST(Nsga2, DifferentSeedsExploreDifferently) {
 TEST(Nsga2, ParallelEvaluatorMatchesBudget) {
   const Zdt1Problem problem(8);
   par::ThreadPool pool(2);
+  const EvaluationEngine engine(&pool);
   Nsga2::Config config = small_config(2000);
-  config.evaluator = &pool;
+  config.evaluator = &engine;
   Nsga2 algorithm(config);
   const AlgorithmResult result = algorithm.run(problem, 5);
   EXPECT_FALSE(result.front.empty());

@@ -54,7 +54,7 @@ TEST(CrowdingArchive, MembersMutuallyNonDominated) {
   }
   for (const Solution& a : archive.contents()) {
     for (const Solution& b : archive.contents()) {
-      if (&a != &b) EXPECT_FALSE(dominates(a, b));
+      if (&a != &b) { EXPECT_FALSE(dominates(a, b)); }
     }
   }
 }

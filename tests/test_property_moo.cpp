@@ -43,7 +43,7 @@ TEST_P(ArchiveInvariants, AgaStaysConsistentUnderRandomStream) {
   // Mutual non-domination of the final membership.
   for (const Solution& a : archive.contents()) {
     for (const Solution& b : archive.contents()) {
-      if (&a != &b) ASSERT_FALSE(dominates(a, b));
+      if (&a != &b) { ASSERT_FALSE(dominates(a, b)); }
     }
   }
 }
@@ -58,7 +58,7 @@ TEST_P(ArchiveInvariants, CrowdingArchiveMatchesAgaContract) {
   }
   for (const Solution& a : archive.contents()) {
     for (const Solution& b : archive.contents()) {
-      if (&a != &b) ASSERT_FALSE(dominates(a, b));
+      if (&a != &b) { ASSERT_FALSE(dominates(a, b)); }
     }
   }
 }

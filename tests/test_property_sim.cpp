@@ -57,7 +57,7 @@ TEST_P(ScenarioProperties, StructuralInvariantsHold) {
   EXPECT_GE(stats.broadcast_time_s, 0.0);
   EXPECT_LE(stats.broadcast_time_s, 10.0);
   // Zero coverage <=> zero broadcast time.
-  if (stats.coverage == 0) EXPECT_DOUBLE_EQ(stats.broadcast_time_s, 0.0);
+  if (stats.coverage == 0) { EXPECT_DOUBLE_EQ(stats.broadcast_time_s, 0.0); }
   EXPECT_TRUE(std::isfinite(stats.energy_dbm_sum));
 }
 

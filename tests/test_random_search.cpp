@@ -17,7 +17,7 @@ TEST(RandomSearch, ProducesNonDominatedFront) {
   ASSERT_FALSE(result.front.empty());
   for (const Solution& a : result.front) {
     for (const Solution& b : result.front) {
-      if (&a != &b) EXPECT_FALSE(dominates(a, b));
+      if (&a != &b) { EXPECT_FALSE(dominates(a, b)); }
     }
   }
 }
@@ -55,9 +55,10 @@ TEST(RandomSearch, Deterministic) {
 TEST(RandomSearch, ParallelEvaluatorWorks) {
   const Zdt1Problem problem(5);
   par::ThreadPool pool(2);
+  const EvaluationEngine engine(&pool);
   RandomSearch::Config config;
   config.max_evaluations = 600;
-  config.evaluator = &pool;
+  config.evaluator = &engine;
   RandomSearch algorithm(config);
   const AlgorithmResult result = algorithm.run(problem, 6);
   EXPECT_EQ(result.evaluations, 600u);

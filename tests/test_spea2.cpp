@@ -31,7 +31,7 @@ TEST(Spea2, FrontMutuallyNonDominated) {
   const AlgorithmResult result = algorithm.run(problem, 2);
   for (const Solution& a : result.front) {
     for (const Solution& b : result.front) {
-      if (&a != &b) EXPECT_FALSE(dominates(a, b));
+      if (&a != &b) { EXPECT_FALSE(dominates(a, b)); }
     }
   }
 }
