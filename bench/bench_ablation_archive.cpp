@@ -9,8 +9,8 @@
 
 #include "common/rng.hpp"
 #include "common/table.hpp"
-#include "experiment/runners.hpp"
-#include "experiment/scale.hpp"
+#include "experiment/bench_cli.hpp"
+#include "expt/experiment.hpp"
 #include "moo/core/aga_archive.hpp"
 #include "moo/core/crowding_archive.hpp"
 #include "moo/core/front_io.hpp"
@@ -57,13 +57,15 @@ ArchiveScore feed(moo::Archive& archive, const std::string& name,
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
-  const expt::Scale scale = expt::resolve_scale(args);
+  const expt::Scale scale = expt::resolve_scale_or_exit(args);
   expt::print_header("bench_ablation_archive",
                      "ablation: AGA vs crowding vs unbounded archiving (§IV-A)",
                      scale);
 
-  const int density = scale.densities.front();
-  const aedb::AedbTuningProblem problem(expt::problem_config(density, scale));
+  const std::string& scenario = scale.scenarios.front();
+  const expt::ScenarioSpec spec =
+      expt::ScenarioCatalog::instance().resolve(scenario);
+  const aedb::AedbTuningProblem problem(spec.problem_config(scale));
 
   // Candidate stream: every solution an unguided MLS run evaluates and
   // accepts would offer its archive, approximated here by merging the
@@ -76,7 +78,7 @@ int main(int argc, char** argv) {
     expt::Scale mini = scale;
     mini.runs = std::max<std::size_t>(2, scale.runs / 2);
     for (const auto& record :
-         expt::run_repeats("AEDB-MLS-unguided", density, mini, nullptr)) {
+         expt::run_repeats("AEDB-MLS-unguided", scenario, mini)) {
       stream.insert(stream.end(), record.front.begin(), record.front.end());
     }
     Xoshiro256 rng(scale.seed);

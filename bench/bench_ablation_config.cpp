@@ -7,8 +7,8 @@
 
 #include "common/table.hpp"
 #include "core/mls.hpp"
-#include "experiment/runners.hpp"
-#include "experiment/scale.hpp"
+#include "experiment/bench_cli.hpp"
+#include "expt/experiment.hpp"
 #include "moo/core/front_io.hpp"
 #include "moo/core/normalization.hpp"
 #include "moo/indicators/hypervolume.hpp"
@@ -16,15 +16,17 @@
 int main(int argc, char** argv) {
   using namespace aedbmls;
   const CliArgs args(argc, argv);
-  const expt::Scale scale = expt::resolve_scale(args);
+  const expt::Scale scale = expt::resolve_scale_or_exit(args);
   expt::print_header("bench_ablation_config",
                      "§V parameter study: alpha x reset grid (best = 0.2/50)",
                      scale);
 
   const double alphas[] = {0.1, 0.2, 0.3};
   const std::size_t resets[] = {15, 25, 50};
-  const int density = 100;  // the paper tuned on the least dense instance
-  const aedb::AedbTuningProblem problem(expt::problem_config(density, scale));
+  // The paper tuned on the least dense Table II instance.
+  const expt::ScenarioSpec spec =
+      expt::ScenarioCatalog::instance().resolve("d100");
+  const aedb::AedbTuningProblem problem(spec.problem_config(scale));
 
   // Run every cell `repeats` times; score = mean normalised hypervolume
   // against the union reference of all cells.
@@ -42,6 +44,7 @@ int main(int argc, char** argv) {
         config.populations = scale.mls_populations;
         config.threads_per_population = scale.mls_threads;
         config.evaluations_per_thread = scale.mls_evals_per_thread();
+        config.extra_evaluation_workers = scale.mls_extra_evaluation_workers();
         config.alpha = alphas[a];
         config.reset_period = resets[r];
         config.criteria = core::aedb_criteria();

@@ -1,27 +1,25 @@
 /// E9 — ablation of the paper's first contribution: the sensitivity-guided
 /// search criteria (§IV-B) and the asymmetric Eq.-2 BLX step.  Four MLS
-/// variants at identical budgets on each density:
+/// variants at identical budgets on each scenario:
 ///   * AEDB-MLS           — paper configuration (3 guided criteria, Eq. 2);
 ///   * AEDB-MLS-unguided  — one all-variables criterion (no guidance);
 ///   * AEDB-MLS-pervar    — per-variable criteria (guidance w/o grouping);
 ///   * AEDB-MLS-sym       — guided criteria but zero-bias symmetric step.
-/// Scored by normalised hypervolume and IGD against the union reference.
+/// Scored by normalised hypervolume and IGD against the union reference
+/// (the ExperimentDriver's per-scenario protocol).
 
+#include <algorithm>
 #include <cstdio>
 
 #include "common/stats.hpp"
 #include "common/table.hpp"
-#include "experiment/runners.hpp"
-#include "experiment/scale.hpp"
-#include "moo/core/front_io.hpp"
-#include "moo/core/normalization.hpp"
-#include "moo/indicators/hypervolume.hpp"
-#include "moo/indicators/igd.hpp"
+#include "experiment/bench_cli.hpp"
+#include "expt/experiment.hpp"
 
 int main(int argc, char** argv) {
   using namespace aedbmls;
   const CliArgs args(argc, argv);
-  const expt::Scale scale = expt::resolve_scale(args);
+  const expt::Scale scale = expt::resolve_scale_or_exit(args);
   expt::print_header("bench_ablation_operators",
                      "ablation: sensitivity-guided criteria & Eq.-2 step",
                      scale);
@@ -29,35 +27,32 @@ int main(int argc, char** argv) {
   const std::vector<std::string> variants{"AEDB-MLS", "AEDB-MLS-unguided",
                                           "AEDB-MLS-pervar", "AEDB-MLS-sym"};
 
-  for (const int density : scale.densities) {
-    std::printf("--- %d devices/km^2 ---\n", density);
-    std::vector<std::vector<expt::RunRecord>> per_variant;
-    std::vector<std::vector<moo::Solution>> all_fronts;
-    for (const auto& variant : variants) {
-      std::printf("[run] %-18s %zu runs...\n", variant.c_str(), scale.runs);
-      std::fflush(stdout);
-      per_variant.push_back(
-          expt::run_repeats(variant, density, scale, nullptr));
-      for (const auto& record : per_variant.back()) {
-        all_fronts.push_back(record.front);
-      }
-    }
-    const auto reference = moo::merge_fronts(all_fronts);
-    const moo::ObjectiveBounds bounds = moo::bounds_of(reference);
-    const auto reference_norm = moo::normalize_front(reference, bounds);
+  expt::ExperimentDriver::Options options;
+  options.use_cache = !args.has("no-cache");
+  // Every cell here is an MLS variant that spawns its own populations x
+  // threads workers, so driver-level sharding multiplies thread counts;
+  // cap with --workers=1 for paper-scale layouts (8x12 threads per cell).
+  options.workers = static_cast<std::size_t>(std::max(0L, args.get_int("workers", 0)));
+  const expt::ExperimentDriver driver(options);
+  const auto samples =
+      driver.run(expt::ExperimentPlan::of(variants, scale)).samples;
 
+  for (const std::string& scenario : scale.scenarios) {
+    std::printf("--- %s ---\n", scenario.c_str());
     TextTable table;
     table.set_header({"variant", "hv mean", "hv sd", "igd mean", "igd sd"});
-    for (std::size_t v = 0; v < variants.size(); ++v) {
+    for (const std::string& variant : variants) {
       RunningStats hv;
       RunningStats igd;
-      for (const auto& record : per_variant[v]) {
-        if (record.front.empty()) continue;
-        const auto front = moo::normalize_front(record.front, bounds);
-        hv.add(moo::hypervolume(front, moo::unit_reference(3)));
-        igd.add(moo::paper_igd(front, reference_norm));
+      for (const expt::IndicatorSample& s : samples) {
+        if (s.algorithm != variant || s.scenario != scenario) continue;
+        // An empty-front run carries placeholder zeros, not scores; it
+        // must not pull igd toward perfect and hv toward worst.
+        if (s.front_size == 0) continue;
+        hv.add(s.hypervolume);
+        igd.add(s.igd);
       }
-      table.add_row({variants[v], format_double(hv.mean(), 4),
+      table.add_row({variant, format_double(hv.mean(), 4),
                      format_double(hv.stddev(), 4), format_double(igd.mean(), 4),
                      format_double(igd.stddev(), 4)});
     }

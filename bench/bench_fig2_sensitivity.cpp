@@ -11,9 +11,10 @@
 
 #include "aedb/tuning_problem.hpp"
 #include "common/table.hpp"
-#include "experiment/runners.hpp"
-#include "experiment/scale.hpp"
+#include "experiment/bench_cli.hpp"
+#include "expt/scenario_catalog.hpp"
 #include "moo/sa/fast99.hpp"
+#include "par/thread_pool.hpp"
 
 namespace {
 
@@ -52,7 +53,7 @@ constexpr ObjectiveView kObjectives[] = {
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
-  const expt::Scale scale = expt::resolve_scale(args);
+  const expt::Scale scale = expt::resolve_scale_or_exit(args);
   expt::print_header("bench_fig2_sensitivity",
                      "Figure 2 (FAST99 indices) and Table I (summary)", scale);
 
@@ -77,12 +78,13 @@ int main(int argc, char** argv) {
       aedb::AedbParams::kDimensions, std::vector<Cell>(4));
 
   TextTable csv;
-  csv.set_header({"density", "objective", "parameter", "main_effect",
+  csv.set_header({"scenario", "objective", "parameter", "main_effect",
                   "interaction", "direction"});
 
-  for (const int density : scale.densities) {
-    aedb::AedbTuningProblem::Config pc = expt::problem_config(density, scale);
-    const aedb::AedbTuningProblem problem(pc);
+  for (const std::string& scenario : scale.scenarios) {
+    const expt::ScenarioSpec spec =
+        expt::ScenarioCatalog::instance().resolve(scenario);
+    const aedb::AedbTuningProblem problem(spec.problem_config(scale));
     const moo::Fast99::Model model = [&problem](const std::vector<double>& x) {
       const auto d = problem.evaluate_detail(aedb::AedbParams::from_vector(x));
       return std::vector<double>{d.mean_broadcast_time_s, d.mean_coverage,
@@ -93,9 +95,10 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
     const moo::Fast99Result result = fast.analyze(domain, model, 4, &pool);
 
-    // Figure 2 proper is the 300-devices panel; print every density, flag it.
-    std::printf("\n--- density %d devices/km^2%s ---\n", density,
-                density == 300 ? "  (= paper Figure 2)" : "");
+    // Figure 2 proper is the 300-devices panel; print every scenario, flag it.
+    std::printf("\n--- %s (%d devices/km^2)%s ---\n", scenario.c_str(),
+                spec.devices_per_km2,
+                scenario == "d300" ? "  (= paper Figure 2)" : "");
     for (const ObjectiveView& objective : kObjectives) {
       const moo::Fast99Indices& idx = result.outputs[objective.index];
       TextTable table;
@@ -110,7 +113,7 @@ int main(int argc, char** argv) {
         summary[f][objective.index].direction += idx.direction[f];
         summary[f][objective.index].interaction += idx.interaction[f];
         summary[f][objective.index].main_effect += idx.first_order[f];
-        csv.add_row({std::to_string(density), objective.name,
+        csv.add_row({scenario, objective.name,
                      aedb::AedbParams::names()[f],
                      format_double(idx.first_order[f], 5),
                      format_double(idx.interaction[f], 5),
@@ -122,8 +125,8 @@ int main(int argc, char** argv) {
   }
 
   // ---- Table I reproduction ----
-  const double n = static_cast<double>(scale.densities.size());
-  std::printf("=== Table I reproduction (averaged over densities) ===\n");
+  const double n = static_cast<double>(scale.scenarios.size());
+  std::printf("=== Table I reproduction (averaged over scenarios) ===\n");
   std::printf("cell = direction-to-improve / interaction  — paper values in []\n");
   std::printf("objective columns: maximise coverage, minimise forwardings,\n");
   std::printf("minimise energy, constrain broadcast time\n\n");

@@ -3,15 +3,16 @@
 /// three densities, plus §VI's mutual-dominance counts ("AEDB-MLS dominates
 /// 13 / is dominated by 54" etc.).
 ///
-/// Output: per-density front listings (energy dBm-sum, coverage,
+/// Output: per-scenario front listings (energy dBm-sum, coverage,
 /// forwardings — the figure's three axes), dominance counts with the
 /// paper's values alongside, CSVs under results/ for plotting.
 
+#include <algorithm>
 #include <cstdio>
 
 #include "common/table.hpp"
-#include "experiment/runners.hpp"
-#include "experiment/scale.hpp"
+#include "experiment/bench_cli.hpp"
+#include "expt/experiment.hpp"
 #include "moo/core/aga_archive.hpp"
 #include "moo/core/front_io.hpp"
 
@@ -22,10 +23,11 @@ using namespace aedbmls;
 /// The paper builds each displayed front with AGA (capacity 100) over the
 /// best solutions of 30 runs.
 std::vector<moo::Solution> aga_merge(const std::vector<expt::RunRecord>& records,
-                                     const std::string& algorithm, int density) {
+                                     const std::string& algorithm,
+                                     const std::string& scenario) {
   moo::AgaArchive archive(100);
   for (const expt::RunRecord& record : records) {
-    if (record.density != density) continue;
+    if (record.scenario != scenario) continue;
     const bool mls = record.algorithm == "AEDB-MLS";
     const bool wanted = (algorithm == "AEDB-MLS") == mls;
     if (!wanted) continue;
@@ -50,26 +52,35 @@ void print_front(const char* label, const std::vector<moo::Solution>& front) {
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
-  const expt::Scale scale = expt::resolve_scale(args);
+  const expt::Scale scale = expt::resolve_scale_or_exit(args);
   expt::print_header("bench_fig6_fronts",
                      "Figure 6 (Pareto fronts) + §VI dominance counts", scale);
 
-  // Paper dominance counts for context: {density, MLS dominates, dominated}.
+  // Paper dominance counts for context (Table II scenarios only):
+  // {scenario, MLS dominates, dominated}.
   struct PaperCounts {
-    int density;
+    const char* scenario;
     int dominates;
     int dominated;
   };
-  const PaperCounts paper[] = {{100, 13, 54}, {200, 11, 40}, {300, 15, 17}};
+  const PaperCounts paper[] = {
+      {"d100", 13, 54}, {"d200", 11, 40}, {"d300", 15, 17}};
 
-  std::vector<expt::RunRecord> records;
-  (void)expt::collect_indicator_samples(expt::paper_algorithms(), scale,
-                                        /*use_cache=*/false, &records);
+  expt::ExperimentDriver::Options options;
+  options.use_cache = false;       // the raw fronts are needed every time
+  options.collect_records = true;
+  // AEDB-MLS cells spawn their own islands x threads workers; cap the
+  // driver with --workers=1 for paper-scale layouts.
+  options.workers = static_cast<std::size_t>(std::max(0L, args.get_int("workers", 0)));
+  const expt::ExperimentDriver driver(options);
+  const auto result =
+      driver.run(expt::ExperimentPlan::of(expt::paper_algorithms(), scale));
+  const std::vector<expt::RunRecord>& records = result.records;
 
-  for (const int density : scale.densities) {
-    std::printf("=============== %d devices/km^2 ===============\n", density);
-    const auto mls_front = aga_merge(records, "AEDB-MLS", density);
-    const auto reference = aga_merge(records, "Reference", density);
+  for (const std::string& scenario : scale.scenarios) {
+    std::printf("=============== %s ===============\n", scenario.c_str());
+    const auto mls_front = aga_merge(records, "AEDB-MLS", scenario);
+    const auto reference = aga_merge(records, "Reference", scenario);
 
     print_front("AEDB-MLS front", mls_front);
     print_front("Reference front (NSGA-II + CellDE)", reference);
@@ -82,21 +93,21 @@ int main(int argc, char** argv) {
                 "dominated by %zu of its own\n",
                 mls_dominates, mls_dominated);
     for (const PaperCounts& p : paper) {
-      if (p.density == density) {
+      if (scenario == p.scenario) {
         std::printf("paper (30 runs, full budgets): dominates %d, dominated "
                     "by %d\n",
                     p.dominates, p.dominated);
       }
     }
 
-    write_text_file("results/fig6_front_mls_" + std::to_string(density) + "_" +
-                        scale.name + ".csv",
+    write_text_file("results/fig6_front_mls_" + scenario + "_" + scale.name +
+                        ".csv",
                     moo::front_to_csv(mls_front));
-    write_text_file("results/fig6_front_reference_" + std::to_string(density) +
-                        "_" + scale.name + ".csv",
+    write_text_file("results/fig6_front_reference_" + scenario + "_" +
+                        scale.name + ".csv",
                     moo::front_to_csv(reference));
-    std::printf("[out] results/fig6_front_{mls,reference}_%d_%s.csv\n\n",
-                density, scale.name.c_str());
+    std::printf("[out] results/fig6_front_{mls,reference}_%s_%s.csv\n\n",
+                scenario.c_str(), scale.name.c_str());
   }
 
   std::printf("shape check vs the paper: both fronts should show the two-\n"

@@ -1,28 +1,38 @@
 /// E5 — regenerates **Figure 7**: boxplots of spread, IGD (the paper's
 /// Eq. 3) and hypervolume over repeated runs of CellDE, NSGA-II and
-/// AEDB-MLS for each density, after normalising against the combined
+/// AEDB-MLS for each scenario, after normalising against the combined
 /// reference front (the paper's protocol).
 ///
 /// Output: ASCII boxplot panels mirroring Fig. 7's 3x3 grid, per-cell
 /// medians/IQRs, and a CSV of all samples under results/.
+///
+/// Beyond the paper: sweep any catalog workload with e.g.
+/// `--scenarios=sparse-wide,highspeed` or contenders with `--algorithms=`.
 
+#include <algorithm>
 #include <cstdio>
 
 #include "common/table.hpp"
-#include "experiment/runners.hpp"
-#include "experiment/scale.hpp"
+#include "experiment/bench_cli.hpp"
+#include "expt/experiment.hpp"
 #include "moo/stats/boxplot.hpp"
 
 int main(int argc, char** argv) {
   using namespace aedbmls;
   const CliArgs args(argc, argv);
-  const expt::Scale scale = expt::resolve_scale(args);
+  const expt::Scale scale = expt::resolve_scale_or_exit(args);
   expt::print_header("bench_fig7_indicators",
                      "Figure 7 (indicator boxplots, 3 metrics x 3 densities)",
                      scale);
+  const auto algorithms =
+      expt::algorithms_or_exit(args, expt::paper_algorithms());
 
-  const auto samples = expt::collect_indicator_samples(
-      expt::paper_algorithms(), scale, !args.has("no-cache"));
+  expt::ExperimentDriver::Options options;
+  options.use_cache = !args.has("no-cache");
+  options.workers = static_cast<std::size_t>(std::max(0L, args.get_int("workers", 0)));
+  const expt::ExperimentDriver driver(options);
+  const auto samples =
+      driver.run(expt::ExperimentPlan::of(algorithms, scale)).samples;
 
   struct Panel {
     const char* title;
@@ -36,23 +46,22 @@ int main(int argc, char** argv) {
   };
 
   TextTable csv;
-  csv.set_header({"algorithm", "density", "indicator", "value"});
+  csv.set_header({"algorithm", "scenario", "indicator", "value"});
 
   for (const Panel& panel : panels) {
     std::printf("=== %s ===\n", panel.title);
-    for (const int density : scale.densities) {
+    for (const std::string& scenario : scale.scenarios) {
       std::vector<moo::BoxplotSeries> series;
-      for (const auto& algorithm : expt::paper_algorithms()) {
-        auto values = expt::extract(samples, algorithm, density, panel.member);
+      for (const auto& algorithm : algorithms) {
+        auto values = expt::extract(samples, algorithm, scenario, panel.member);
         if (values.empty()) continue;
         for (const double v : values) {
-          csv.add_row({algorithm, std::to_string(density), panel.title,
-                       format_double(v, 6)});
+          csv.add_row({algorithm, scenario, panel.title, format_double(v, 6)});
         }
         series.push_back(moo::BoxplotSeries{algorithm, std::move(values)});
       }
       if (series.empty()) continue;
-      std::printf("-- %d devices/km^2 --\n%s\n", density,
+      std::printf("-- %s --\n%s\n", scenario.c_str(),
                   moo::render_boxplots(series, 56, 4).c_str());
     }
   }

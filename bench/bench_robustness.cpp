@@ -10,8 +10,8 @@
 #include "aedb/tuning_problem.hpp"
 #include "common/table.hpp"
 #include "core/mls.hpp"
-#include "experiment/runners.hpp"
-#include "experiment/scale.hpp"
+#include "experiment/bench_cli.hpp"
+#include "expt/experiment.hpp"
 #include "moo/analysis/knee.hpp"
 
 namespace {
@@ -37,18 +37,19 @@ constexpr Condition kConditions[] = {
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
-  const expt::Scale scale = expt::resolve_scale(args);
+  const expt::Scale scale = expt::resolve_scale_or_exit(args);
   expt::print_header("bench_robustness",
                      "extension E12: tuned configuration under other regimes",
                      scale);
 
-  const int density = scale.densities.front();
-  const aedb::AedbTuningProblem problem(expt::problem_config(density, scale));
+  const expt::ScenarioSpec spec =
+      expt::ScenarioCatalog::instance().resolve(scale.scenarios.front());
+  const aedb::AedbTuningProblem problem(spec.problem_config(scale));
 
   // Tune once at the current scale, take the knee configuration.
   std::printf("[run] tuning with AEDB-MLS on %s...\n", problem.name().c_str());
   std::fflush(stdout);
-  auto mls = expt::make_algorithm("AEDB-MLS", scale, nullptr);
+  auto mls = expt::AlgorithmRegistry::instance().create("AEDB-MLS", scale);
   const moo::AlgorithmResult tuned = mls->run(problem, scale.seed);
   if (tuned.front.empty()) {
     std::printf("tuning produced no feasible front; aborting\n");
@@ -67,9 +68,10 @@ int main(int argc, char** argv) {
     double energy = 0.0;
     double bt = 0.0;
     for (std::size_t net = 0; net < scale.networks; ++net) {
-      aedb::ScenarioConfig scenario =
-          aedb::make_paper_scenario(density, scale.seed, net);
+      aedb::ScenarioConfig scenario = spec.scenario_config(scale.seed, net);
       scenario.network.mobility = condition.mobility;
+      scenario.network.static_nodes =
+          condition.mobility == sim::MobilityKind::kStatic;
       scenario.network.shadowing_sigma_db = condition.shadowing_sigma;
       const auto stats = aedb::run_scenario(scenario, knee).stats;
       coverage += static_cast<double>(stats.coverage);

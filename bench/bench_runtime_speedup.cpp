@@ -15,13 +15,13 @@
 #include <thread>
 
 #include "common/table.hpp"
-#include "experiment/runners.hpp"
-#include "experiment/scale.hpp"
+#include "experiment/bench_cli.hpp"
+#include "expt/experiment.hpp"
 
 int main(int argc, char** argv) {
   using namespace aedbmls;
   const CliArgs args(argc, argv);
-  const expt::Scale scale = expt::resolve_scale(args);
+  const expt::Scale scale = expt::resolve_scale_or_exit(args);
   expt::print_header("bench_runtime_speedup",
                      "§VI wall-clock comparison (38x claim)", scale);
 
@@ -31,26 +31,30 @@ int main(int argc, char** argv) {
               cores);
 
   struct PaperTimes {
-    int density;
+    const char* scenario;
     double mls_minutes;
     double ea_hours;
   };
-  const PaperTimes paper[] = {{100, 48, 32}, {200, 188, 123}, {300, 417, 264}};
+  const PaperTimes paper[] = {
+      {"d100", 48, 32}, {"d200", 188, 123}, {"d300", 417, 264}};
 
   TextTable table;
-  table.set_header({"density", "algo", "evals", "wall [s]", "evals/s",
+  table.set_header({"scenario", "algo", "evals", "wall [s]", "evals/s",
                     "speedup vs serial EA", "parallel efficiency"});
 
   TextTable projection;
-  projection.set_header({"density", "projected serial EA [h]",
+  projection.set_header({"scenario", "projected serial EA [h]",
                          "projected MLS here [min]", "paper EA [h]",
                          "paper MLS [min]"});
 
-  for (const int density : scale.densities) {
-    const aedb::AedbTuningProblem problem(expt::problem_config(density, scale));
+  for (const std::string& scenario : scale.scenarios) {
+    const expt::ScenarioSpec spec =
+        expt::ScenarioCatalog::instance().resolve(scenario);
+    const aedb::AedbTuningProblem problem(spec.problem_config(scale));
+    auto& registry = expt::AlgorithmRegistry::instance();
 
     // --- serial NSGA-II (the paper ran its MOEAs single-threaded) ---
-    auto nsga2 = expt::make_algorithm("NSGAII", scale, /*evaluator=*/nullptr);
+    auto nsga2 = registry.create("NSGAII", scale, /*evaluator=*/nullptr);
     const auto t0 = std::chrono::steady_clock::now();
     const moo::AlgorithmResult ea = nsga2->run(problem, scale.seed);
     const double ea_seconds =
@@ -62,7 +66,7 @@ int main(int argc, char** argv) {
     expt::Scale mls_scale = scale;
     mls_scale.evals = static_cast<std::size_t>(
         static_cast<double>(scale.evals) * 2.4);
-    auto mls = expt::make_algorithm("AEDB-MLS", mls_scale, nullptr);
+    auto mls = registry.create("AEDB-MLS", mls_scale);
     const auto t1 = std::chrono::steady_clock::now();
     const moo::AlgorithmResult mls_result = mls->run(problem, scale.seed);
     const double mls_seconds =
@@ -85,20 +89,20 @@ int main(int argc, char** argv) {
     const double efficiency =
         mls_rate / (ea_rate * static_cast<double>(workers));
 
-    table.add_row({std::to_string(density), "NSGAII(serial)",
+    table.add_row({scenario, "NSGAII(serial)",
                    std::to_string(ea.evaluations), format_double(ea_seconds, 1),
                    format_double(ea_rate, 1), "1.0", "-"});
-    table.add_row({std::to_string(density), "AEDB-MLS",
+    table.add_row({scenario, "AEDB-MLS",
                    std::to_string(mls_result.evaluations),
                    format_double(mls_seconds, 1), format_double(mls_rate, 1),
                    format_double(speedup, 2), format_double(efficiency, 2)});
 
     // Projection of the full campaign on this machine.
     for (const PaperTimes& p : paper) {
-      if (p.density != density) continue;
+      if (scenario != p.scenario) continue;
       const double projected_ea_h = 10000.0 / ea_rate / 3600.0;
       const double projected_mls_min = 24000.0 / mls_rate / 60.0;
-      projection.add_row({std::to_string(density),
+      projection.add_row({scenario,
                           format_double(projected_ea_h, 2),
                           format_double(projected_mls_min, 1),
                           format_double(p.ea_hours, 0),

@@ -7,12 +7,13 @@
 /// when available (same scale), so running the two in sequence costs one
 /// campaign.
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 
 #include "common/table.hpp"
-#include "experiment/runners.hpp"
-#include "experiment/scale.hpp"
+#include "experiment/bench_cli.hpp"
+#include "expt/experiment.hpp"
 #include "moo/stats/wilcoxon.hpp"
 
 namespace {
@@ -60,12 +61,19 @@ const char* paper_symbols(const char* metric, const std::string& row,
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
-  const expt::Scale scale = expt::resolve_scale(args);
+  const expt::Scale scale = expt::resolve_scale_or_exit(args);
   expt::print_header("bench_tab4_wilcoxon",
                      "Table IV (pairwise Wilcoxon, 95% confidence)", scale);
 
-  const auto samples = expt::collect_indicator_samples(
-      expt::paper_algorithms(), scale, !args.has("no-cache"));
+  expt::ExperimentDriver::Options options;
+  options.use_cache = !args.has("no-cache");
+  // AEDB-MLS cells spawn their own islands x threads workers; cap the
+  // driver with --workers=1 for paper-scale layouts.
+  options.workers = static_cast<std::size_t>(std::max(0L, args.get_int("workers", 0)));
+  const expt::ExperimentDriver driver(options);
+  const auto samples =
+      driver.run(expt::ExperimentPlan::of(expt::paper_algorithms(), scale))
+          .samples;
 
   const Metric metrics[] = {
       {"Spread", &expt::IndicatorSample::spread, true},
@@ -82,11 +90,11 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < algorithms.size(); ++i) {
       for (std::size_t j = i + 1; j < algorithms.size(); ++j) {
         std::string measured;
-        for (const int density : scale.densities) {
+        for (const std::string& scenario : scale.scenarios) {
           const auto row_values =
-              expt::extract(samples, algorithms[i], density, metric.member);
+              expt::extract(samples, algorithms[i], scenario, metric.member);
           const auto col_values =
-              expt::extract(samples, algorithms[j], density, metric.member);
+              expt::extract(samples, algorithms[j], scenario, metric.member);
           if (row_values.size() < 2 || col_values.size() < 2) {
             measured += "?";
             continue;

@@ -1,0 +1,83 @@
+#include "experiment/bench_cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "expt/algorithm_registry.hpp"
+#include "expt/scenario_catalog.hpp"
+
+namespace aedbmls::expt {
+
+Scale resolve_scale_or_exit(const CliArgs& args) {
+  try {
+    return resolve_scale(args);
+  } catch (const std::invalid_argument& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    std::exit(2);
+  }
+}
+
+std::vector<std::string> algorithms_or_exit(
+    const CliArgs& args, const std::vector<std::string>& fallback) {
+  const std::vector<std::string> names =
+      args.has("algorithms") ? split_csv(args.get("algorithms")) : fallback;
+  if (names.empty()) {
+    std::fprintf(stderr,
+                 "error: --algorithms is empty; registered algorithms:");
+    for (const auto& name : AlgorithmRegistry::instance().names()) {
+      std::fprintf(stderr, " %s", name.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    std::exit(2);
+  }
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (!AlgorithmRegistry::instance().contains(names[i])) {
+      std::fprintf(stderr, "error: unknown algorithm '%s'; registered:",
+                   names[i].c_str());
+      for (const auto& known : AlgorithmRegistry::instance().names()) {
+        std::fprintf(stderr, " %s", known.c_str());
+      }
+      std::fprintf(stderr, "\n");
+      std::exit(2);
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (names[i] == names[j]) {
+        std::fprintf(stderr,
+                     "error: duplicate algorithm '%s' in --algorithms\n",
+                     names[i].c_str());
+        std::exit(2);
+      }
+    }
+  }
+  return names;
+}
+
+void print_header(const std::string& bench_name, const std::string& regenerates,
+                  const Scale& scale) {
+  std::printf("================================================================\n");
+  std::printf("%s — regenerates %s\n", bench_name.c_str(), regenerates.c_str());
+  std::printf("paper setup (Tables II/III): 500x500 m arena, random walk <=2 m/s\n");
+  std::printf("  (direction change 20 s), beacons 1 Hz, default tx 16.02 dBm,\n");
+  std::printf("  broadcast at t=30 s, end t=40 s; domains: delay [0,1]/[0,5] s,\n");
+  std::printf("  border [-95,-70] dBm, margin [0,3] dB, neighbors [0,50]\n");
+  std::printf("scale '%s': %zu networks/eval, %zu runs, %zu evals/run, "
+              "MLS %zux%zu, seed %llu\n",
+              scale.name.c_str(), scale.networks, scale.runs, scale.evals,
+              scale.mls_populations, scale.mls_threads,
+              static_cast<unsigned long long>(scale.seed));
+  std::printf("scenarios:");
+  for (const std::string& key : scale.scenarios) {
+    std::printf(" %s", key.c_str());
+  }
+  std::printf("  (catalog:");
+  for (const std::string& key : ScenarioCatalog::instance().names()) {
+    std::printf(" %s", key.c_str());
+  }
+  std::printf(")\n");
+  std::printf("  (set AEDB_SCALE=paper, AEDB_SCENARIO=..., or --runs/--evals/"
+              "--scenarios=... to rescale)\n");
+  std::printf("================================================================\n\n");
+}
+
+}  // namespace aedbmls::expt

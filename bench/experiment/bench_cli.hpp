@@ -1,0 +1,35 @@
+#pragma once
+
+/// Thin CLI adapter between the bench mains and the `expt` library: scale
+/// resolution with user-facing error reporting, algorithm-list parsing
+/// against the registry, and the standard bench header.
+///
+/// The experiment machinery itself (AlgorithmRegistry, ScenarioCatalog,
+/// ExperimentPlan/Driver) lives in `src/expt/`; see EXPERIMENTS.md for the
+/// migration note from the old `make_algorithm`/`collect_indicator_samples`
+/// plumbing.
+
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "expt/scale.hpp"
+
+namespace aedbmls::expt {
+
+/// `resolve_scale`, but invalid input (unknown scale/scenario names,
+/// malformed numeric overrides) prints the error — which lists the valid
+/// options — to stderr and exits with status 2.
+[[nodiscard]] Scale resolve_scale_or_exit(const CliArgs& args);
+
+/// Algorithm names from `--algorithms=a,b` (default: `fallback`), validated
+/// against the registry; unknown names print the registered list and exit 2.
+[[nodiscard]] std::vector<std::string> algorithms_or_exit(
+    const CliArgs& args, const std::vector<std::string>& fallback);
+
+/// Prints the standard bench header: experiment id, the paper's fixed
+/// configuration (Tables II/III) and the active scale + scenario sweep.
+void print_header(const std::string& bench_name, const std::string& regenerates,
+                  const Scale& scale);
+
+}  // namespace aedbmls::expt

@@ -1,9 +1,14 @@
 /// Head-to-head of the three algorithms of the paper (plus random search as
-/// a floor) on the AEDB tuning problem, with normalised quality indicators
-/// against the combined reference front — §VI's comparison in miniature.
+/// a floor) on one AEDB tuning scenario, with normalised quality indicators
+/// against the combined reference front — §VI's comparison in miniature,
+/// driven entirely through the `expt` layer (AlgorithmRegistry +
+/// ScenarioCatalog).
 ///
-///   ./compare_algorithms [--density=100] [--evals=120] [--networks=3]
-///                        [--seed=3]
+///   ./compare_algorithms [--scenario=d100] [--evals=120] [--networks=3]
+///                        [--seed=3] [--algorithms=NSGAII,CellDE,...]
+///
+/// Any catalog scenario works: --scenario=sparse-wide, highspeed,
+/// static-grid, d250, ...  (--density=N is accepted as shorthand for dN.)
 
 #include <cstdio>
 #include <memory>
@@ -11,69 +16,59 @@
 #include "aedb/tuning_problem.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
-#include "core/mls.hpp"
-#include "moo/algorithms/cellde.hpp"
-#include "moo/algorithms/nsga2.hpp"
-#include "moo/algorithms/random_search.hpp"
+#include "expt/algorithm_registry.hpp"
+#include "expt/scale.hpp"
+#include "expt/scenario_catalog.hpp"
 #include "moo/core/front_io.hpp"
 #include "moo/core/normalization.hpp"
 #include "moo/indicators/hypervolume.hpp"
 #include "moo/indicators/igd.hpp"
 #include "moo/indicators/spread.hpp"
+#include "par/thread_pool.hpp"
 
 int main(int argc, char** argv) {
   using namespace aedbmls;
   const CliArgs args(argc, argv);
-  const auto evals = static_cast<std::size_t>(args.get_int("evals", 120));
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 3));
 
-  aedb::AedbTuningProblem::Config problem_config;
-  problem_config.devices_per_km2 = static_cast<int>(args.get_int("density", 100));
-  problem_config.network_count =
-      static_cast<std::size_t>(args.get_int("networks", 3));
-  const aedb::AedbTuningProblem problem(problem_config);
+  expt::Scale scale;
+  scale.evals = static_cast<std::size_t>(args.get_int("evals", 120));
+  scale.networks = static_cast<std::size_t>(args.get_int("networks", 3));
+  scale.seed = static_cast<std::uint64_t>(args.get_int("seed", 3));
+  scale.mls_populations = 2;
+  scale.mls_threads = 2;
 
+  const expt::ScenarioSpec spec = expt::scenario_from_cli_or_exit(args);
+  std::vector<std::unique_ptr<moo::Algorithm>> algorithms;
   par::ThreadPool pool;  // parallel evaluation for the generational EAs
   const moo::EvaluationEngine engine(&pool);
+  std::vector<std::string> names{"NSGAII", "CellDE", "AEDB-MLS", "Random"};
+  if (args.has("algorithms")) {
+    names = split_csv(args.get("algorithms"));
+    if (names.empty()) {
+      std::fprintf(stderr,
+                   "error: --algorithms is empty; expected e.g. "
+                   "--algorithms=NSGAII,CellDE\n");
+      return 2;
+    }
+  }
+  try {
+    for (const std::string& name : names) {
+      algorithms.push_back(
+          expt::AlgorithmRegistry::instance().create(name, scale, &engine));
+    }
+  } catch (const std::exception& error) {
+    // Unknown algorithm: the message lists the registered options.
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
+  const aedb::AedbTuningProblem problem(spec.problem_config(scale));
 
-  std::vector<std::unique_ptr<moo::Algorithm>> algorithms;
-  {
-    moo::Nsga2::Config config;
-    config.population_size = 20;
-    config.max_evaluations = evals;
-    config.evaluator = &engine;
-    algorithms.push_back(std::make_unique<moo::Nsga2>(config));
-  }
-  {
-    moo::CellDe::Config config;
-    config.grid_width = 5;
-    config.grid_height = 4;
-    config.max_evaluations = evals;
-    config.evaluator = &engine;
-    algorithms.push_back(std::make_unique<moo::CellDe>(config));
-  }
-  {
-    core::MlsConfig config;
-    config.populations = 2;
-    config.threads_per_population = 2;
-    config.evaluations_per_thread = evals / 4;
-    config.reset_period = 15;
-    config.criteria = core::aedb_criteria();
-    algorithms.push_back(std::make_unique<core::AedbMls>(config));
-  }
-  {
-    moo::RandomSearch::Config config;
-    config.max_evaluations = evals;
-    config.evaluator = &engine;
-    algorithms.push_back(std::make_unique<moo::RandomSearch>(config));
-  }
-
-  std::printf("comparing on %s, ~%zu evaluations each\n\n",
-              problem.name().c_str(), evals);
+  std::printf("comparing on %s (%s), ~%zu evaluations each\n\n",
+              problem.name().c_str(), spec.description.c_str(), scale.evals);
   std::vector<moo::AlgorithmResult> results;
   std::vector<std::vector<moo::Solution>> fronts;
   for (auto& algorithm : algorithms) {
-    results.push_back(algorithm->run(problem, seed));
+    results.push_back(algorithm->run(problem, scale.seed));
     fronts.push_back(results.back().front);
     std::printf("  %-12s %5zu evals  %6.1f s  %3zu front points\n",
                 algorithm->name().c_str(), results.back().evaluations,

@@ -1,26 +1,31 @@
-/// Quickstart: simulate one AEDB broadcast on a paper-style network and
-/// print the four metrics of §III-A.
+/// Quickstart: simulate one AEDB broadcast on a catalog scenario and print
+/// the four metrics of §III-A.
 ///
-///   ./quickstart [--density=100] [--seed=7] [--network=0]
+///   ./quickstart [--scenario=d100] [--seed=7] [--network=0]
 ///                [--border=-88] [--margin=1] [--neighbors=15]
 ///                [--min-delay=0.1] [--max-delay=0.8]
+///
+/// `--scenario` accepts any ScenarioCatalog key (d100/d200/d300,
+/// static-grid, highspeed, sparse-wide, or d<N> for any density);
+/// `--density=N` is shorthand for dN.
 
 #include <cstdio>
 
 #include "aedb/scenario.hpp"
 #include "common/cli.hpp"
+#include "expt/scenario_catalog.hpp"
 
 int main(int argc, char** argv) {
   using namespace aedbmls;
   const CliArgs args(argc, argv);
 
-  // A network from the paper's Table II setup: 500 m x 500 m, random-walk
-  // mobility at up to 2 m/s, beacons every second, broadcast at t = 30 s.
-  const int density = static_cast<int>(args.get_int("density", 100));
+  // A workload from the scenario catalog (Table II density d100 by default:
+  // 500 m x 500 m, random-walk mobility at up to 2 m/s, beacons every
+  // second, broadcast at t = 30 s).
+  const expt::ScenarioSpec spec = expt::scenario_from_cli_or_exit(args);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
   const auto network = static_cast<std::uint64_t>(args.get_int("network", 0));
-  const aedb::ScenarioConfig scenario =
-      aedb::make_paper_scenario(density, seed, network);
+  const aedb::ScenarioConfig scenario = spec.scenario_config(seed, network);
 
   // An AEDB configuration (Table III domains).
   aedb::AedbParams params;
@@ -30,9 +35,12 @@ int main(int argc, char** argv) {
   params.margin_threshold_db = args.get_double("margin", 1.0);
   params.neighbors_threshold = args.get_double("neighbors", 15.0);
 
-  std::printf("AEDB quickstart — %d devices/km^2 (%zu nodes), network %llu\n",
-              density, scenario.network.node_count,
-              static_cast<unsigned long long>(network));
+  std::printf("AEDB quickstart — scenario %s: %s\n", spec.key.c_str(),
+              spec.description.c_str());
+  std::printf("%zu nodes, network %llu, seed %llu\n",
+              scenario.network.node_count,
+              static_cast<unsigned long long>(network),
+              static_cast<unsigned long long>(seed));
   std::printf("configuration: %s\n\n", params.to_string().c_str());
 
   const aedb::ScenarioResult result = aedb::run_scenario(scenario, params);

@@ -2,14 +2,19 @@
 /// first-order and interaction indices of the four outputs — the machinery
 /// behind Figure 2 and Table I, runnable standalone.
 ///
-///   ./sensitivity_analysis [--density=100] [--samples=65] [--networks=2]
+///   ./sensitivity_analysis [--scenario=d100] [--samples=65] [--networks=2]
 ///                          [--seed=1]
+///
+/// `--scenario` accepts any ScenarioCatalog key (`--density=N` is shorthand
+/// for dN).
 
 #include <cstdio>
 
 #include "aedb/tuning_problem.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
+#include "expt/scale.hpp"
+#include "expt/scenario_catalog.hpp"
 #include "moo/sa/fast99.hpp"
 #include "par/thread_pool.hpp"
 
@@ -17,11 +22,11 @@ int main(int argc, char** argv) {
   using namespace aedbmls;
   const CliArgs args(argc, argv);
 
-  aedb::AedbTuningProblem::Config problem_config;
-  problem_config.devices_per_km2 = static_cast<int>(args.get_int("density", 100));
-  problem_config.network_count =
-      static_cast<std::size_t>(args.get_int("networks", 2));
-  const aedb::AedbTuningProblem problem(problem_config);
+  const expt::ScenarioSpec spec = expt::scenario_from_cli_or_exit(args);
+  expt::Scale scale;
+  scale.networks = static_cast<std::size_t>(args.get_int("networks", 2));
+  scale.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const aedb::AedbTuningProblem problem(spec.problem_config(scale));
 
   // The SA explores the wider §III-B domains, not the tuning domains.
   const auto& domain_array = aedb::AedbParams::sa_domain();

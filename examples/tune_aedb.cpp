@@ -1,11 +1,13 @@
-/// Tune the AEDB protocol with AEDB-MLS on a chosen density — the paper's
-/// headline use case, scaled for a laptop by default.
+/// Tune the AEDB protocol with AEDB-MLS on a chosen catalog scenario — the
+/// paper's headline use case, scaled for a laptop by default.
 ///
-///   ./tune_aedb [--density=100] [--populations=2] [--threads=4]
+///   ./tune_aedb [--scenario=d100] [--populations=2] [--threads=4]
 ///               [--evals=40] [--reset=20] [--alpha=0.2] [--networks=5]
 ///               [--seed=1]
 ///
-/// Paper-scale run: --populations=8 --threads=12 --evals=250 --networks=10.
+/// `--scenario` accepts any ScenarioCatalog key (`--density=N` is shorthand
+/// for dN).  Paper-scale run: --populations=8 --threads=12 --evals=250
+/// --networks=10.
 
 #include <cstdio>
 
@@ -13,17 +15,19 @@
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "core/mls.hpp"
+#include "expt/scale.hpp"
+#include "expt/scenario_catalog.hpp"
 #include "moo/analysis/knee.hpp"
 
 int main(int argc, char** argv) {
   using namespace aedbmls;
   const CliArgs args(argc, argv);
 
-  aedb::AedbTuningProblem::Config problem_config;
-  problem_config.devices_per_km2 = static_cast<int>(args.get_int("density", 100));
-  problem_config.network_count =
-      static_cast<std::size_t>(args.get_int("networks", 5));
-  const aedb::AedbTuningProblem problem(problem_config);
+  const expt::ScenarioSpec spec = expt::scenario_from_cli_or_exit(args);
+  expt::Scale scale;
+  scale.networks = static_cast<std::size_t>(args.get_int("networks", 5));
+  scale.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const aedb::AedbTuningProblem problem(spec.problem_config(scale));
 
   core::MlsConfig config;
   config.populations = static_cast<std::size_t>(args.get_int("populations", 2));

@@ -48,6 +48,21 @@ double CliArgs::get_double(const std::string& name, double fallback) const {
   return (end != nullptr && *end == '\0') ? v : fallback;
 }
 
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::string token;
+  for (const char c : csv) {
+    if (c == ',') {
+      if (!token.empty()) out.push_back(std::move(token));
+      token.clear();
+    } else {
+      token.push_back(c);
+    }
+  }
+  if (!token.empty()) out.push_back(std::move(token));
+  return out;
+}
+
 std::string env_or(const std::string& name, const std::string& fallback) {
   const char* v = std::getenv(name.c_str());
   return v == nullptr ? fallback : std::string(v);

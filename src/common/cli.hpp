@@ -39,6 +39,10 @@ class CliArgs {
   std::vector<std::string> positional_;
 };
 
+/// Splits a comma-separated list into its non-empty tokens, in order
+/// ("a,,b" -> {"a", "b"}).  The common format of list-valued options.
+[[nodiscard]] std::vector<std::string> split_csv(const std::string& csv);
+
 /// Environment variable as string, or `fallback` when unset.
 [[nodiscard]] std::string env_or(const std::string& name, const std::string& fallback);
 

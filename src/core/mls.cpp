@@ -22,6 +22,7 @@ struct WorkerContext {
   std::barrier<>& population_barrier;
   ArchiveActor& archive;
   std::size_t slot;     ///< this worker's slot in its population
+  std::size_t budget;   ///< evaluations this worker may spend
   Xoshiro256 rng;
   const moo::Solution* warm_start = nullptr;  ///< optional initial solution
 
@@ -71,12 +72,14 @@ void worker_loop(WorkerContext ctx) {
   ctx.population_barrier.arrive_and_wait();
 
   const auto bounds = moo::bounds_vector(ctx.problem);
-  const std::size_t budget = ctx.config.evaluations_per_thread;
+  const std::size_t budget = ctx.budget;
   std::size_t spent = 1;  // the initial evaluation above (at least one)
   std::size_t iteration = 0;
 
-  // Line 5: main loop.  All threads of a population execute the same
-  // number of iterations, so the reset barriers always match up.
+  // Line 5: main loop.  Budgets may differ by one across workers (remainder
+  // distribution); the reset barriers still line up because a finished
+  // worker's arrive_and_drop both completes the phase it is due and removes
+  // it from later phases.
   while (spent < budget) {
     // Line 6: teammate t guides the perturbation magnitude.
     const moo::Solution t = ctx.population.random_other(ctx.slot, ctx.rng);
@@ -122,8 +125,9 @@ void worker_loop(WorkerContext ctx) {
     }
   }
 
-  // Drop out of future barrier rounds so remaining threads (none, since all
-  // schedules are identical) are not blocked.
+  // Drop out of future barrier rounds: teammates with a one-larger budget
+  // (remainder distribution) may still have a reset phase to complete, and
+  // this arrival both finishes the current phase and shrinks later ones.
   ctx.population_barrier.arrive_and_drop();
 }
 
@@ -175,7 +179,12 @@ moo::AlgorithmResult AedbMls::run(const moo::Problem& problem,
       if (flat < config_.initial_solutions.size()) {
         warm = &config_.initial_solutions[flat];
       }
-      workers.emplace_back([&, p, w, worker_seed, warm] {
+      // Remainder distribution: the first `extra_evaluation_workers` flat
+      // worker indices spend one evaluation more than the base budget.
+      const std::size_t budget =
+          config_.evaluations_per_thread +
+          (flat < config_.extra_evaluation_workers ? 1 : 0);
+      workers.emplace_back([&, p, w, worker_seed, warm, budget] {
         WorkerContext ctx{problem,
                           config_,
                           criteria,
@@ -183,6 +192,7 @@ moo::AlgorithmResult AedbMls::run(const moo::Problem& problem,
                           *barriers[p],
                           archive,
                           w,
+                          budget,
                           Xoshiro256(worker_seed),
                           warm,
                           evaluations,

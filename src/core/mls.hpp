@@ -35,6 +35,14 @@ struct MlsConfig {
   std::size_t populations = 8;              ///< paper: 8 distributed populations
   std::size_t threads_per_population = 12;  ///< paper: 12 (cores per node)
   std::size_t evaluations_per_thread = 250; ///< paper: 250
+  /// Workers (by flat index, population-major) that run one extra
+  /// evaluation.  A total budget rarely divides evenly across the worker
+  /// grid; distributing the remainder here lets callers consume exactly
+  /// the declared budget instead of silently truncating it (with 120
+  /// evaluations over 96 workers the plain division drops 24 of them).
+  /// Safe with the reset barriers: a finished worker drops out via
+  /// `arrive_and_drop`, so budgets may differ across the island.
+  std::size_t extra_evaluation_workers = 0;
   std::size_t reset_period = 50;            ///< paper's tuned value (§V)
   double alpha = 0.2;                       ///< paper's tuned BLX-α value (§V)
   std::size_t archive_capacity = 100;

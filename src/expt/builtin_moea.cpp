@@ -1,0 +1,65 @@
+/// Builtin registrations: the generational MOEAs of the paper's §VI plus
+/// the random-search floor.  Population sizing follows the old bench
+/// plumbing: Ruiz et al. 2012 used population 100; shrink with the budget
+/// so a smoke run still evolves for several generations.
+
+#include <cmath>
+
+#include "expt/algorithm_registry.hpp"
+#include "expt/scale.hpp"
+#include "moo/algorithms/cellde.hpp"
+#include "moo/algorithms/nsga2.hpp"
+#include "moo/algorithms/random_search.hpp"
+
+namespace aedbmls::expt {
+namespace {
+
+std::size_t population_for(const Scale& scale) {
+  return std::max<std::size_t>(20, scale.evals / 50);
+}
+
+std::unique_ptr<moo::Algorithm> make_nsga2(
+    const Scale& scale, const moo::EvaluationEngine* evaluator) {
+  moo::Nsga2::Config config;
+  config.population_size = population_for(scale);
+  config.max_evaluations = scale.evals;
+  config.evaluator = evaluator;
+  return std::make_unique<moo::Nsga2>(config);
+}
+
+std::unique_ptr<moo::Algorithm> make_cellde(
+    const Scale& scale, const moo::EvaluationEngine* evaluator) {
+  moo::CellDe::Config config;
+  const auto side = static_cast<std::size_t>(
+      std::sqrt(static_cast<double>(population_for(scale))));
+  config.grid_width = std::max<std::size_t>(4, side);
+  config.grid_height = std::max<std::size_t>(4, side);
+  config.max_evaluations = scale.evals;
+  config.archive_capacity = 100;
+  config.evaluator = evaluator;
+  return std::make_unique<moo::CellDe>(config);
+}
+
+std::unique_ptr<moo::Algorithm> make_random(
+    const Scale& scale, const moo::EvaluationEngine* evaluator) {
+  moo::RandomSearch::Config config;
+  config.max_evaluations = scale.evals;
+  config.archive_capacity = 100;
+  config.evaluator = evaluator;
+  return std::make_unique<moo::RandomSearch>(config);
+}
+
+}  // namespace
+
+namespace detail {
+
+void register_builtin_moea_algorithms(AlgorithmRegistry& registry) {
+  registry.add({"NSGAII", "NSGA-II configured per Ruiz et al. 2012",
+                make_nsga2});
+  registry.add({"CellDE", "cellular differential evolution (paper §VI MOEA)",
+                make_cellde});
+  registry.add({"Random", "uniform random search floor", make_random});
+}
+
+}  // namespace detail
+}  // namespace aedbmls::expt

@@ -1,0 +1,316 @@
+#include "expt/experiment.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+#include "aedb/tuning_problem.hpp"
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "moo/core/dominance.hpp"
+#include "moo/core/front_io.hpp"
+#include "moo/core/normalization.hpp"
+#include "moo/indicators/hypervolume.hpp"
+#include "moo/indicators/igd.hpp"
+#include "moo/indicators/spread.hpp"
+#include "par/thread_pool.hpp"
+
+namespace aedbmls::expt {
+namespace {
+
+std::uint64_t hash_string(std::uint64_t key, const std::string& text) {
+  for (const char c : text) {
+    key = hash_combine(key, static_cast<std::uint64_t>(
+                                static_cast<unsigned char>(c)));
+  }
+  return hash_combine(key, 0x5E9A + text.size());
+}
+
+/// Executes one grid cell: fresh problem, fresh algorithm, one run.
+RunRecord run_cell(const std::string& algorithm, const std::string& scenario,
+                   std::uint64_t seed, const Scale& scale,
+                   const moo::EvaluationEngine* evaluator) {
+  const ScenarioSpec spec = ScenarioCatalog::instance().resolve(scenario);
+  const aedb::AedbTuningProblem problem(spec.problem_config(scale));
+  auto instance =
+      AlgorithmRegistry::instance().create(algorithm, scale, evaluator);
+  const moo::AlgorithmResult result = instance->run(problem, seed);
+  RunRecord record;
+  record.algorithm = algorithm;
+  record.scenario = scenario;
+  record.run_seed = seed;
+  record.front = result.front;
+  record.evaluations = result.evaluations;
+  record.wall_seconds = result.wall_seconds;
+  return record;
+}
+
+/// Parses a cache CSV; nullopt when the file is missing or malformed (a
+/// bench killed mid-write leaves a truncated file — recompute, don't crash
+/// or trust partial data).
+std::optional<std::vector<IndicatorSample>> load_cache(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::vector<IndicatorSample> samples;
+  std::string line;
+  std::getline(in, line);  // header
+  try {
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      std::istringstream row(line);
+      IndicatorSample s;
+      std::string cell;
+      if (!std::getline(row, s.algorithm, ',') ||
+          !std::getline(row, s.scenario, ',')) {
+        return std::nullopt;
+      }
+      if (!std::getline(row, cell, ',')) return std::nullopt;
+      s.run_seed = std::stoull(cell);
+      if (!std::getline(row, cell, ',')) return std::nullopt;
+      s.front_size = std::stoull(cell);
+      if (!std::getline(row, cell, ',')) return std::nullopt;
+      s.hypervolume = std::stod(cell);
+      if (!std::getline(row, cell, ',')) return std::nullopt;
+      s.igd = std::stod(cell);
+      if (!std::getline(row, cell)) return std::nullopt;
+      s.spread = std::stod(cell);
+      samples.push_back(std::move(s));
+    }
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  return samples;
+}
+
+void store_cache(const std::string& dir, const std::string& path,
+                 const std::vector<IndicatorSample>& samples) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return;
+  out << "algorithm,scenario,run_seed,front_size,hypervolume,igd,spread\n";
+  out.precision(17);
+  for (const IndicatorSample& s : samples) {
+    out << s.algorithm << ',' << s.scenario << ',' << s.run_seed << ','
+        << s.front_size << ',' << s.hypervolume << ',' << s.igd << ','
+        << s.spread << '\n';
+  }
+}
+
+}  // namespace
+
+std::uint64_t cell_seed(const Scale& scale, const std::string& scenario,
+                        std::size_t run) {
+  return hash_combine(hash_string(scale.seed, scenario), run + 1);
+}
+
+std::vector<ExperimentPlan::Cell> ExperimentPlan::cells() const {
+  std::vector<Cell> out;
+  out.reserve(cell_count());
+  for (const std::string& scenario : scenarios) {
+    for (const std::string& algorithm : algorithms) {
+      for (std::size_t run = 0; run < scale.runs; ++run) {
+        Cell cell;
+        cell.index = out.size();
+        cell.algorithm = algorithm;
+        cell.scenario = scenario;
+        cell.run = run;
+        cell.seed = cell_seed(scale, scenario, run);
+        out.push_back(std::move(cell));
+      }
+    }
+  }
+  return out;
+}
+
+std::uint64_t ExperimentPlan::fingerprint() const {
+  std::uint64_t key = hash_combine(scale.seed, scale.runs);
+  key = hash_combine(key, scale.evals);
+  key = hash_combine(key, scale.networks);
+  key = hash_combine(key, scale.mls_populations);
+  key = hash_combine(key, scale.mls_threads);
+  for (const std::string& name : algorithms) key = hash_string(key, name);
+  for (const std::string& name : scenarios) {
+    key = hash_string(key, name);
+    // Hash the physics behind the key too: editing a catalog preset must
+    // invalidate its cached indicators, not silently serve stale ones.
+    if (const auto spec = ScenarioCatalog::instance().find(name)) {
+      key = hash_combine(key, static_cast<std::uint64_t>(spec->devices_per_km2));
+      for (const double field :
+           {spec->area_width_m, spec->area_height_m, spec->min_speed_mps,
+            spec->max_speed_mps, spec->mobility_epoch_s,
+            spec->shadowing_sigma_db}) {
+        key = hash_combine(key, std::bit_cast<std::uint64_t>(field));
+      }
+      key = hash_combine(key, static_cast<std::uint64_t>(spec->mobility));
+    }
+  }
+  return key;
+}
+
+std::vector<RunRecord> run_repeats(const std::string& algorithm,
+                                   const std::string& scenario,
+                                   const Scale& scale,
+                                   const moo::EvaluationEngine* evaluator) {
+  std::vector<RunRecord> records;
+  records.reserve(scale.runs);
+  for (std::size_t run = 0; run < scale.runs; ++run) {
+    records.push_back(run_cell(algorithm, scenario,
+                               cell_seed(scale, scenario, run), scale,
+                               evaluator));
+  }
+  return records;
+}
+
+ExperimentResult ExperimentDriver::run(const ExperimentPlan& plan) const {
+  // Duplicate names double-count: a repeated scenario key makes the
+  // per-scenario reduction below collect every matching record once per
+  // duplicate, and a repeated algorithm runs identical-seed cells twice so
+  // every statistic counts each run twice.  Reject both.
+  const auto reject_duplicates = [](const std::vector<std::string>& names,
+                                    const char* kind) {
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      for (std::size_t j = i + 1; j < names.size(); ++j) {
+        if (names[i] == names[j]) {
+          throw std::invalid_argument(std::string("duplicate ") + kind +
+                                      " '" + names[i] +
+                                      "' in the experiment plan");
+        }
+      }
+    }
+  };
+  reject_duplicates(plan.scenarios, "scenario");
+  reject_duplicates(plan.algorithms, "algorithm");
+
+  std::ostringstream path_os;
+  path_os << options_.cache_dir << "/indicators_" << plan.scale.name << "_"
+          << std::hex << plan.fingerprint() << ".csv";
+  const std::string path = path_os.str();
+
+  if (options_.use_cache && !options_.collect_records) {
+    if (auto cached = load_cache(path)) {
+      // A fingerprint hit with the wrong row count means a stale or
+      // corrupt file (the fingerprint fixes the grid size) — recompute.
+      if (cached->size() == plan.cell_count()) {
+        if (options_.verbose) {
+          std::printf("[cache] loaded %zu indicator samples from %s\n",
+                      cached->size(), path.c_str());
+        }
+        return ExperimentResult{std::move(*cached), {}, true};
+      }
+      log_warn("ignoring cache ", path, ": ", cached->size(),
+               " samples, expected ", plan.cell_count());
+    }
+  }
+
+  // --- Phase 1: shard the independent grid cells across the pool. ------
+  // Each cell is seeded by (plan, scenario, run) alone, and each writes its
+  // own slot, so the records vector is a pure function of the plan no
+  // matter how many workers execute it.
+  const auto cells = plan.cells();
+  std::unique_ptr<par::ThreadPool> eval_pool;
+  if (options_.eval_threads > 0) {
+    eval_pool = std::make_unique<par::ThreadPool>(options_.eval_threads);
+  }
+  const moo::EvaluationEngine engine(eval_pool.get());
+
+  std::vector<RunRecord> records(cells.size());
+  {
+    par::ThreadPool pool(options_.workers);
+    if (options_.verbose) {
+      std::printf("[plan] %zu algorithms x %zu scenarios x %zu runs = %zu "
+                  "cells over %zu driver workers\n",
+                  plan.algorithms.size(), plan.scenarios.size(),
+                  plan.scale.runs, cells.size(), pool.thread_count());
+      std::fflush(stdout);
+    }
+    pool.parallel_for(cells.size(), [&](std::size_t i) {
+      const ExperimentPlan::Cell& cell = cells[i];
+      if (options_.verbose) {
+        std::printf("[cell %3zu/%zu] %-18s on %-12s run %zu/%zu\n", i + 1,
+                    cells.size(), cell.algorithm.c_str(),
+                    cell.scenario.c_str(), cell.run + 1, plan.scale.runs);
+        std::fflush(stdout);
+      }
+      records[i] = run_cell(cell.algorithm, cell.scenario, cell.seed,
+                            plan.scale, &engine);
+    });
+  }  // barrier: pool drained and joined
+
+  // --- Phase 2: per-scenario reference fronts + normalised indicators. --
+  // The paper's protocol: reference front = non-dominated union of every
+  // run of every algorithm on the scenario; all fronts normalised by its
+  // bounds.  Serial and in grid order, so the output is deterministic.
+  ExperimentResult result;
+  result.samples.reserve(records.size());
+  for (const std::string& scenario : plan.scenarios) {
+    std::vector<const RunRecord*> scoped;
+    std::vector<std::vector<moo::Solution>> fronts;
+    for (const RunRecord& record : records) {
+      if (record.scenario != scenario) continue;
+      scoped.push_back(&record);
+      fronts.push_back(record.front);
+    }
+    const auto reference = moo::merge_fronts(fronts);
+    if (reference.empty()) {
+      log_warn("empty reference front for scenario ", scenario);
+      continue;
+    }
+    const moo::ObjectiveBounds bounds = moo::bounds_of(reference);
+    const auto reference_norm = moo::normalize_front(reference, bounds);
+
+    for (const RunRecord* record : scoped) {
+      IndicatorSample sample;
+      sample.algorithm = record->algorithm;
+      sample.scenario = scenario;
+      sample.run_seed = record->run_seed;
+      sample.front_size = record->front.size();
+      if (!record->front.empty()) {
+        const auto front = moo::normalize_front(record->front, bounds);
+        sample.hypervolume = moo::hypervolume(front, moo::unit_reference(3));
+        sample.igd = moo::paper_igd(front, reference_norm);
+        sample.spread = moo::generalized_spread(front, reference_norm);
+      }
+      result.samples.push_back(std::move(sample));
+    }
+  }
+  if (options_.use_cache) {
+    store_cache(options_.cache_dir, path, result.samples);
+  }
+  if (options_.collect_records) result.records = std::move(records);
+  return result;
+}
+
+std::vector<double> extract(const std::vector<IndicatorSample>& samples,
+                            const std::string& algorithm,
+                            const std::string& scenario,
+                            double IndicatorSample::* member) {
+  std::vector<double> out;
+  for (const IndicatorSample& s : samples) {
+    if (s.algorithm == algorithm && s.scenario == scenario) {
+      out.push_back(s.*member);
+    }
+  }
+  return out;
+}
+
+std::size_t dominance_count(const std::vector<moo::Solution>& a,
+                            const std::vector<moo::Solution>& b) {
+  std::size_t count = 0;
+  for (const moo::Solution& target : b) {
+    for (const moo::Solution& candidate : a) {
+      if (moo::dominates(candidate, target)) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace aedbmls::expt

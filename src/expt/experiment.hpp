@@ -1,0 +1,152 @@
+#pragma once
+
+/// ExperimentPlan + ExperimentDriver — the declarative experiment grid.
+///
+/// A plan names the full algorithms x scenarios x runs grid of a campaign
+/// (the paper's §VI evaluation is `{CellDE, NSGAII, AEDB-MLS} x Table II x
+/// 30`).  The driver shards the independent cells across a
+/// `par::ThreadPool` with deterministic per-cell seeding, then — after a
+/// barrier — builds the per-scenario reference fronts (the paper's
+/// normalisation protocol: non-dominated union of every run of every
+/// algorithm) and the normalised quality indicators.  Cell seeds and the
+/// post-barrier reduction depend only on the plan, never on scheduling, so
+/// the indicator samples are bitwise-identical for any driver worker count
+/// (regression-tested at 1/4/12 in tests/test_experiment_driver.cpp).
+///
+/// Results are cached as CSV under `results/`, keyed by the plan
+/// fingerprint; pass `Options::use_cache = false` (--no-cache) to force
+/// recomputation.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "expt/algorithm_registry.hpp"
+#include "expt/scale.hpp"
+#include "expt/scenario_catalog.hpp"
+#include "moo/core/solution.hpp"
+
+namespace aedbmls::expt {
+
+/// One (algorithm, scenario, run) outcome.
+struct RunRecord {
+  std::string algorithm;
+  std::string scenario;  ///< ScenarioCatalog key, e.g. "d200", "sparse-wide"
+  std::uint64_t run_seed = 0;
+  std::vector<moo::Solution> front;
+  std::size_t evaluations = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Normalised quality indicators of one run against the per-scenario
+/// reference front.
+struct IndicatorSample {
+  std::string algorithm;
+  std::string scenario;
+  std::uint64_t run_seed = 0;
+  /// Points in the run's front.  0 means the run produced nothing — the
+  /// indicator fields are then placeholders (zeros), not scores; consumers
+  /// that average indicators should skip such samples.
+  std::size_t front_size = 0;
+  double hypervolume = 0.0;
+  double igd = 0.0;     ///< the paper's Eq. 3
+  double spread = 0.0;  ///< generalised spread (3 objectives)
+};
+
+/// The declared grid: every algorithm on every scenario, `scale.runs`
+/// independent runs each.
+struct ExperimentPlan {
+  std::vector<std::string> algorithms;
+  std::vector<std::string> scenarios;
+  Scale scale;
+
+  /// Plan for the given algorithms over the scale's scenario sweep.
+  [[nodiscard]] static ExperimentPlan of(std::vector<std::string> algorithms,
+                                         const Scale& scale) {
+    return ExperimentPlan{std::move(algorithms), scale.scenarios, scale};
+  }
+
+  /// One grid cell; `index` orders cells scenario-major (scenario,
+  /// algorithm, run), matching the old serial loop.
+  struct Cell {
+    std::size_t index = 0;
+    std::string algorithm;
+    std::string scenario;
+    std::size_t run = 0;
+    std::uint64_t seed = 0;  ///< deterministic function of (plan, cell)
+  };
+
+  /// All cells of the grid in deterministic order.
+  [[nodiscard]] std::vector<Cell> cells() const;
+
+  [[nodiscard]] std::size_t cell_count() const {
+    return algorithms.size() * scenarios.size() * scale.runs;
+  }
+
+  /// Stable 64-bit key over everything that shapes the results (algorithms,
+  /// scenarios, runs, budgets, networks, seed, MLS layout) — the CSV cache
+  /// identity.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+};
+
+/// Deterministic seed of one (scenario, run) cell — shared by every
+/// algorithm so all contenders face the same instance stream.
+[[nodiscard]] std::uint64_t cell_seed(const Scale& scale,
+                                      const std::string& scenario,
+                                      std::size_t run);
+
+/// Executes `scale.runs` independent runs of `algorithm` on `scenario`,
+/// serially on the calling thread, with the same per-cell seeding as the
+/// driver (records are interchangeable with driver output).
+[[nodiscard]] std::vector<RunRecord> run_repeats(
+    const std::string& algorithm, const std::string& scenario,
+    const Scale& scale, const moo::EvaluationEngine* evaluator = nullptr);
+
+struct ExperimentResult {
+  std::vector<IndicatorSample> samples;  ///< grid order (scenario-major)
+  std::vector<RunRecord> records;        ///< populated iff collect_records
+  bool from_cache = false;
+};
+
+class ExperimentDriver {
+ public:
+  struct Options {
+    /// Driver worker threads cells are sharded over (0 = one per hardware
+    /// thread).  Results are bitwise-identical for any value.
+    std::size_t workers = 0;
+    /// Load/store the fingerprint-keyed CSV cache under `cache_dir`.
+    bool use_cache = true;
+    std::string cache_dir = "results";
+    /// Also return the raw fronts (Fig. 6 needs them; disables cache loads).
+    bool collect_records = false;
+    /// Threads of the shared `EvaluationEngine` the generational EAs batch
+    /// population evaluations through (0 = serial engine; identical results
+    /// either way — the engine is bitwise thread-count-independent).
+    std::size_t eval_threads = 0;
+    /// Per-cell progress lines on stdout.
+    bool verbose = true;
+  };
+
+  ExperimentDriver() = default;
+  explicit ExperimentDriver(Options options) : options_(std::move(options)) {}
+
+  /// Runs the whole grid (or loads it from cache) and reduces it to
+  /// normalised indicator samples.
+  [[nodiscard]] ExperimentResult run(const ExperimentPlan& plan) const;
+
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+ private:
+  Options options_{};
+};
+
+/// Values of one (algorithm, scenario) cell, in run order.
+[[nodiscard]] std::vector<double> extract(
+    const std::vector<IndicatorSample>& samples, const std::string& algorithm,
+    const std::string& scenario, double IndicatorSample::* member);
+
+/// Counts how many solutions of `b` are dominated by at least one of `a`.
+[[nodiscard]] std::size_t dominance_count(const std::vector<moo::Solution>& a,
+                                          const std::vector<moo::Solution>& b);
+
+}  // namespace aedbmls::expt

@@ -1,0 +1,161 @@
+#include "expt/scenario_catalog.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include "expt/scale.hpp"
+
+namespace aedbmls::expt {
+
+std::size_t ScenarioSpec::node_count() const {
+  return aedb::nodes_for_density(devices_per_km2, area_width_m, area_height_m);
+}
+
+aedb::ScenarioConfig ScenarioSpec::scenario_config(
+    std::uint64_t seed, std::uint64_t network_index) const {
+  aedb::ScenarioConfig config;
+  config.network.node_count = node_count();
+  config.network.area_width = area_width_m;
+  config.network.area_height = area_height_m;
+  config.network.mobility = mobility;
+  config.network.static_nodes = mobility == sim::MobilityKind::kStatic;
+  config.network.min_speed = min_speed_mps;
+  config.network.max_speed = max_speed_mps;
+  config.network.mobility_epoch = sim::seconds(mobility_epoch_s);
+  config.network.shadowing_sigma_db = shadowing_sigma_db;
+  config.network.seed = seed;
+  config.network.network_index = network_index;
+  return config;
+}
+
+aedb::AedbTuningProblem::Config ScenarioSpec::problem_config(
+    const Scale& scale) const {
+  aedb::AedbTuningProblem::Config config;
+  config.devices_per_km2 = devices_per_km2;
+  config.network_count = scale.networks;
+  config.seed = scale.seed;
+  config.scenario = scenario_config(scale.seed);
+  return config;
+}
+
+namespace {
+
+ScenarioSpec table2_spec(int devices_per_km2) {
+  ScenarioSpec spec;
+  spec.key = density_key(devices_per_km2);
+  spec.description = "Table II: " + std::to_string(devices_per_km2) +
+                     " devices/km^2, 500x500 m, random walk <= 2 m/s";
+  spec.devices_per_km2 = devices_per_km2;
+  return spec;
+}
+
+}  // namespace
+
+ScenarioCatalog::ScenarioCatalog() {
+  for (const int density : {100, 200, 300}) {
+    specs_.push_back(table2_spec(density));
+  }
+  {
+    ScenarioSpec spec;
+    spec.key = "static-grid";
+    spec.description =
+        "no mobility: Table II placement at 200 devices/km^2, frozen";
+    spec.devices_per_km2 = 200;
+    spec.mobility = sim::MobilityKind::kStatic;
+    spec.min_speed_mps = 0.0;
+    spec.max_speed_mps = 0.0;
+    specs_.push_back(spec);
+  }
+  {
+    ScenarioSpec spec;
+    spec.key = "highspeed";
+    spec.description =
+        "vehicular: random waypoint at 10..30 m/s, 200 devices/km^2";
+    spec.devices_per_km2 = 200;
+    spec.mobility = sim::MobilityKind::kRandomWaypoint;
+    spec.min_speed_mps = 10.0;
+    spec.max_speed_mps = 30.0;
+    spec.mobility_epoch_s = 5.0;  // direction changes far more often
+    specs_.push_back(spec);
+  }
+  {
+    ScenarioSpec spec;
+    spec.key = "sparse-wide";
+    spec.description =
+        "wide-area: 50 devices/km^2 on a 1000x1000 m arena, random walk";
+    spec.devices_per_km2 = 50;
+    spec.area_width_m = 1000.0;
+    spec.area_height_m = 1000.0;
+    specs_.push_back(spec);
+  }
+}
+
+const ScenarioCatalog& ScenarioCatalog::instance() {
+  static const ScenarioCatalog catalog;
+  return catalog;
+}
+
+std::optional<ScenarioSpec> ScenarioCatalog::find(
+    const std::string& key) const {
+  for (const ScenarioSpec& spec : specs_) {
+    if (spec.key == key) return spec;
+  }
+  // Dynamic Table II style keys: d<N> for any positive integer density.
+  // Strictly plain digits (no sign/whitespace/leading zero, <= 7 digits so
+  // the value cannot overflow an int) — every accepted key is canonical,
+  // i.e. equal to density_key() of its density.
+  if (key.size() > 1 && key.size() <= 8 && key.front() == 'd' &&
+      key[1] != '0' &&
+      std::all_of(key.begin() + 1, key.end(), [](unsigned char c) {
+        return std::isdigit(c) != 0;
+      })) {
+    const int density = std::stoi(key.substr(1));
+    return table2_spec(density);
+  }
+  return std::nullopt;
+}
+
+ScenarioSpec ScenarioCatalog::resolve(const std::string& key) const {
+  if (auto spec = find(key)) return *spec;
+  std::ostringstream os;
+  os << "unknown scenario '" << key << "'; registered scenarios:";
+  for (const ScenarioSpec& spec : specs_) os << ' ' << spec.key;
+  os << " (plus d<N> for any positive density N)";
+  throw std::invalid_argument(os.str());
+}
+
+std::vector<std::string> ScenarioCatalog::names() const {
+  std::vector<std::string> out;
+  out.reserve(specs_.size());
+  for (const ScenarioSpec& spec : specs_) out.push_back(spec.key);
+  return out;
+}
+
+const std::vector<std::string>& paper_scenarios() {
+  static const std::vector<std::string> keys{"d100", "d200", "d300"};
+  return keys;
+}
+
+std::string density_key(int devices_per_km2) {
+  return "d" + std::to_string(devices_per_km2);
+}
+
+ScenarioSpec scenario_from_cli_or_exit(const CliArgs& args,
+                                       const std::string& fallback_key) {
+  std::string key = args.get("scenario", fallback_key);
+  if (args.has("density")) {
+    key = density_key(static_cast<int>(args.get_int("density", 100)));
+  }
+  try {
+    return ScenarioCatalog::instance().resolve(key);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    std::exit(2);
+  }
+}
+
+}  // namespace aedbmls::expt

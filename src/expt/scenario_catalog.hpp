@@ -1,0 +1,102 @@
+#pragma once
+
+/// ScenarioCatalog — named workload presets for the AEDB tuning problem.
+///
+/// The paper's evaluation (§VI) sweeps the three Table II densities on one
+/// fixed arena; this catalog generalises "a density" into "a scenario key"
+/// so experiments can sweep any workload the simulator supports through the
+/// same `ExperimentPlan` API.  Built-in presets:
+///
+///   d100 / d200 / d300  — Table II: 500x500 m arena, random walk <= 2 m/s
+///   d<N>                — any positive density on the Table II arena
+///                         (resolved dynamically, e.g. `--densities=150`)
+///   static-grid         — no mobility: topologies are frozen at placement
+///   highspeed           — vehicular-style random waypoint at 10..30 m/s
+///   sparse-wide         — 50 devices/km^2 on a 1000x1000 m arena
+///
+/// A `ScenarioSpec` is pure data; `scenario_config` / `problem_config`
+/// derive the simulator and tuning-problem configurations from it, so a
+/// new workload is one catalog entry away (ROADMAP: "new scenario
+/// workloads ... now only need an AedbTuningProblem::Config").
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "aedb/tuning_problem.hpp"
+#include "common/cli.hpp"
+
+namespace aedbmls::expt {
+
+struct Scale;
+
+struct ScenarioSpec {
+  std::string key;          ///< catalog name, e.g. "d200", "sparse-wide"
+  std::string description;  ///< one-line summary for --help style listings
+  int devices_per_km2 = 100;
+  double area_width_m = 500.0;
+  double area_height_m = 500.0;
+  sim::MobilityKind mobility = sim::MobilityKind::kRandomWalk;
+  double min_speed_mps = 0.0;
+  double max_speed_mps = 2.0;   ///< Table II: pedestrian random walk
+  double mobility_epoch_s = 20.0;
+  double shadowing_sigma_db = 0.0;
+
+  /// Node count on this arena (density x area).
+  [[nodiscard]] std::size_t node_count() const;
+
+  /// Base simulator scenario for evaluation network `network_index` of the
+  /// ensemble identified by `seed`.
+  [[nodiscard]] aedb::ScenarioConfig scenario_config(
+      std::uint64_t seed, std::uint64_t network_index = 0) const;
+
+  /// Tuning problem over this scenario under `scale` (shared network
+  /// ensemble seed so every algorithm sees identical instances).
+  [[nodiscard]] aedb::AedbTuningProblem::Config problem_config(
+      const Scale& scale) const;
+};
+
+class ScenarioCatalog {
+ public:
+  /// The process-wide catalog (presets registered on first use).
+  [[nodiscard]] static const ScenarioCatalog& instance();
+
+  /// Spec for `key`; nullopt when the key names nothing.  `d<N>` keys with
+  /// positive integer N resolve dynamically to Table II style scenarios.
+  [[nodiscard]] std::optional<ScenarioSpec> find(const std::string& key) const;
+
+  /// Spec for `key`; throws `std::invalid_argument` listing the registered
+  /// keys when unknown.
+  [[nodiscard]] ScenarioSpec resolve(const std::string& key) const;
+
+  [[nodiscard]] bool contains(const std::string& key) const {
+    return find(key).has_value();
+  }
+
+  /// Registered preset keys, registration order (dynamic d<N> not listed).
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// All registered presets (for listings and catalog-wide tests).
+  [[nodiscard]] const std::vector<ScenarioSpec>& specs() const {
+    return specs_;
+  }
+
+ private:
+  ScenarioCatalog();
+  std::vector<ScenarioSpec> specs_;
+};
+
+/// The paper's §VI sweep: {"d100", "d200", "d300"}.
+[[nodiscard]] const std::vector<std::string>& paper_scenarios();
+
+/// Table II key for a density ("d100" for 100 devices/km^2).
+[[nodiscard]] std::string density_key(int devices_per_km2);
+
+/// CLI adapter for single-scenario binaries (examples): resolves
+/// `--scenario=<key>` (default `fallback_key`), with `--density=N` as
+/// shorthand for dN.  Unknown keys print the catalog listing to stderr and
+/// exit with status 2.
+[[nodiscard]] ScenarioSpec scenario_from_cli_or_exit(
+    const CliArgs& args, const std::string& fallback_key = "d100");
+
+}  // namespace aedbmls::expt

@@ -1,13 +1,14 @@
-/// Tests of the bench experiment harness (scale presets, flag overrides,
-/// the algorithm factory, indicator-sample plumbing) — the code every
+/// Tests of the expt scale plumbing (presets, flag overrides, CLI
+/// validation) and the indicator-sample helpers — the code every
 /// table/figure bench routes through.
 
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <stdexcept>
 
-#include "experiment/runners.hpp"
-#include "experiment/scale.hpp"
+#include "expt/experiment.hpp"
+#include "expt/scale.hpp"
 
 namespace aedbmls::expt {
 namespace {
@@ -18,26 +19,53 @@ CliArgs args_of(std::initializer_list<const char*> argv) {
   return CliArgs(static_cast<int>(full.size()), full.data());
 }
 
-TEST(Scale, SmokeIsTheDefault) {
-  ::unsetenv("AEDB_SCALE");
+class ScaleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ::unsetenv("AEDB_SCALE");
+    ::unsetenv("AEDB_SCENARIO");
+  }
+};
+
+TEST_F(ScaleTest, SmokeIsTheDefault) {
   const Scale scale = resolve_scale(args_of({}));
   EXPECT_EQ(scale.name, "smoke");
   EXPECT_EQ(scale.networks, 3u);
   EXPECT_EQ(scale.runs, 5u);
-  EXPECT_EQ(scale.densities, (std::vector<int>{100, 200, 300}));
+  EXPECT_EQ(scale.scenarios,
+            (std::vector<std::string>{"d100", "d200", "d300"}));
 }
 
-TEST(Scale, PaperPresetMatchesSectionFive) {
+TEST_F(ScaleTest, PaperPresetMatchesSectionFive) {
   const Scale scale = resolve_scale(args_of({"--scale=paper"}));
   EXPECT_EQ(scale.networks, 10u);
   EXPECT_EQ(scale.runs, 30u);
   EXPECT_EQ(scale.evals, 24000u);
   EXPECT_EQ(scale.mls_populations, 8u);
   EXPECT_EQ(scale.mls_threads, 12u);
-  EXPECT_EQ(scale.mls_evals_per_thread(), 250u);  // 24000 / 96
+  EXPECT_EQ(scale.mls_evals_per_thread(), 250u);  // 24000 / 96, exact
+  EXPECT_EQ(scale.mls_extra_evaluation_workers(), 0u);
+  EXPECT_EQ(scale.mls_total_evaluations(), 24000u);
 }
 
-TEST(Scale, EnvironmentVariableSelectsPreset) {
+TEST_F(ScaleTest, MlsBudgetRemainderIsDistributedNotTruncated) {
+  Scale scale;
+  scale.evals = 120;
+  scale.mls_populations = 8;
+  scale.mls_threads = 12;  // 96 workers: the old division dropped 24 evals
+  EXPECT_EQ(scale.mls_evals_per_thread(), 1u);
+  EXPECT_EQ(scale.mls_extra_evaluation_workers(), 24u);
+  EXPECT_EQ(scale.mls_total_evaluations(), 120u);
+
+  // Budget smaller than the worker grid: the per-worker minimum of one
+  // evaluation dominates and the effective total is reported, not hidden.
+  scale.evals = 50;
+  EXPECT_EQ(scale.mls_evals_per_thread(), 1u);
+  EXPECT_EQ(scale.mls_extra_evaluation_workers(), 0u);
+  EXPECT_EQ(scale.mls_total_evaluations(), 96u);
+}
+
+TEST_F(ScaleTest, EnvironmentVariableSelectsPreset) {
   ::setenv("AEDB_SCALE", "small", 1);
   const Scale scale = resolve_scale(args_of({}));
   EXPECT_EQ(scale.name, "small");
@@ -45,46 +73,87 @@ TEST(Scale, EnvironmentVariableSelectsPreset) {
   ::unsetenv("AEDB_SCALE");
 }
 
-TEST(Scale, FlagsOverridePreset) {
+TEST_F(ScaleTest, FlagsOverridePreset) {
   const Scale scale = resolve_scale(
       args_of({"--runs=7", "--evals=99", "--networks=2", "--densities=100,300",
                "--seed=5"}));
   EXPECT_EQ(scale.runs, 7u);
   EXPECT_EQ(scale.evals, 99u);
   EXPECT_EQ(scale.networks, 2u);
-  EXPECT_EQ(scale.densities, (std::vector<int>{100, 300}));
+  EXPECT_EQ(scale.scenarios, (std::vector<std::string>{"d100", "d300"}));
   EXPECT_EQ(scale.seed, 5u);
 }
 
-TEST(Scale, UnknownNameFallsBackToSmoke) {
-  const Scale scale = resolve_scale(args_of({"--scale=bogus"}));
-  EXPECT_EQ(scale.name, "smoke");
+TEST_F(ScaleTest, ScenarioFlagSelectsCatalogKeys) {
+  const Scale scale =
+      resolve_scale(args_of({"--scenarios=sparse-wide,highspeed"}));
+  EXPECT_EQ(scale.scenarios,
+            (std::vector<std::string>{"sparse-wide", "highspeed"}));
+  const Scale single = resolve_scale(args_of({"--scenario=static-grid"}));
+  EXPECT_EQ(single.scenarios, (std::vector<std::string>{"static-grid"}));
 }
 
-TEST(Factory, ProblemConfigSharesSeedAcrossAlgorithms) {
+TEST_F(ScaleTest, ScenarioEnvironmentVariableIsHonoured) {
+  ::setenv("AEDB_SCENARIO", "d150", 1);
   const Scale scale = resolve_scale(args_of({}));
-  const auto a = problem_config(100, scale);
-  const auto b = problem_config(100, scale);
-  EXPECT_EQ(a.seed, b.seed);
-  EXPECT_EQ(a.network_count, scale.networks);
-  EXPECT_EQ(problem_config(300, scale).devices_per_km2, 300);
+  EXPECT_EQ(scale.scenarios, (std::vector<std::string>{"d150"}));
+  ::unsetenv("AEDB_SCENARIO");
 }
 
-TEST(Factory, AllAlgorithmNamesConstruct) {
-  const Scale scale = resolve_scale(args_of({"--evals=40"}));
-  for (const char* name :
-       {"NSGAII", "CellDE", "AEDB-MLS", "AEDB-MLS-sym", "AEDB-MLS-unguided",
-        "AEDB-MLS-pervar", "CellDE+MLS", "Random"}) {
-    const auto algorithm = make_algorithm(name, scale);
-    ASSERT_NE(algorithm, nullptr) << name;
+TEST_F(ScaleTest, UnknownScaleNameIsRejectedWithTheOptions) {
+  try {
+    (void)resolve_scale(args_of({"--scale=bogus"}));
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("bogus"), std::string::npos);
+    EXPECT_NE(message.find("smoke"), std::string::npos);
+    EXPECT_NE(message.find("paper"), std::string::npos);
   }
-  EXPECT_EQ(make_algorithm("NSGAII", scale)->name(), "NSGAII");
-  EXPECT_EQ(make_algorithm("AEDB-MLS", scale)->name(), "AEDB-MLS");
 }
 
-TEST(Factory, PaperAlgorithmListMatchesSectionSix) {
-  EXPECT_EQ(paper_algorithms(),
-            (std::vector<std::string>{"CellDE", "NSGAII", "AEDB-MLS"}));
+TEST_F(ScaleTest, UnknownScenarioIsRejectedWithTheCatalog) {
+  try {
+    (void)resolve_scale(args_of({"--scenarios=d100,underwater"}));
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("underwater"), std::string::npos);
+    EXPECT_NE(message.find("sparse-wide"), std::string::npos);
+  }
+}
+
+TEST_F(ScaleTest, MalformedDensitiesAreRejected) {
+  EXPECT_THROW((void)resolve_scale(args_of({"--densities="})),
+               std::invalid_argument);
+  EXPECT_THROW((void)resolve_scale(args_of({"--densities=100,-50"})),
+               std::invalid_argument);
+  EXPECT_THROW((void)resolve_scale(args_of({"--densities=abc"})),
+               std::invalid_argument);
+}
+
+TEST_F(ScaleTest, NonPositiveNumericOverridesAreRejected) {
+  EXPECT_THROW((void)resolve_scale(args_of({"--runs=0"})),
+               std::invalid_argument);
+  EXPECT_THROW((void)resolve_scale(args_of({"--evals=-5"})),
+               std::invalid_argument);
+  EXPECT_THROW((void)resolve_scale(args_of({"--networks=two"})),
+               std::invalid_argument);
+}
+
+TEST_F(ScaleTest, MalformedSeedIsRejectedNotSilentlyDefaulted) {
+  EXPECT_THROW((void)resolve_scale(args_of({"--seed=0x2a"})),
+               std::invalid_argument);
+  EXPECT_THROW((void)resolve_scale(args_of({"--seed=-1"})),
+               std::invalid_argument);
+  EXPECT_EQ(resolve_scale(args_of({"--seed=0"})).seed, 0u);
+}
+
+TEST_F(ScaleTest, DuplicateScenariosAreRejected) {
+  EXPECT_THROW((void)resolve_scale(args_of({"--scenarios=d100,d100"})),
+               std::invalid_argument);
+  EXPECT_THROW((void)resolve_scale(args_of({"--densities=100,100"})),
+               std::invalid_argument);
 }
 
 TEST(DominanceCount, CountsDominatedTargets) {
@@ -101,35 +170,24 @@ TEST(DominanceCount, CountsDominatedTargets) {
   EXPECT_EQ(dominance_count(weak, strong), 0u);
 }
 
-TEST(Extract, FiltersByAlgorithmAndDensity) {
+TEST(Extract, FiltersByAlgorithmAndScenario) {
   std::vector<IndicatorSample> samples;
-  for (int density : {100, 200}) {
+  for (const char* scenario : {"d100", "d200"}) {
     for (int run = 0; run < 3; ++run) {
       IndicatorSample s;
       s.algorithm = run % 2 == 0 ? "A" : "B";
-      s.density = density;
-      s.hypervolume = density + run;
+      s.scenario = scenario;
+      s.hypervolume = (scenario == std::string("d100") ? 100 : 200) + run;
       samples.push_back(s);
     }
   }
   const auto a100 =
-      extract(samples, "A", 100, &IndicatorSample::hypervolume);
+      extract(samples, "A", "d100", &IndicatorSample::hypervolume);
   EXPECT_EQ(a100.size(), 2u);  // runs 0 and 2
   EXPECT_DOUBLE_EQ(a100[0], 100.0);
   EXPECT_DOUBLE_EQ(a100[1], 102.0);
-  EXPECT_TRUE(extract(samples, "C", 100, &IndicatorSample::hypervolume).empty());
-}
-
-TEST(Runner, TinyRepeatRunProducesSeededRecords) {
-  Scale scale = resolve_scale(args_of({"--runs=2", "--evals=16", "--networks=1"}));
-  scale.mls_populations = 1;
-  scale.mls_threads = 2;
-  const auto records = run_repeats("AEDB-MLS", 100, scale, nullptr);
-  ASSERT_EQ(records.size(), 2u);
-  EXPECT_NE(records[0].run_seed, records[1].run_seed);
-  EXPECT_EQ(records[0].algorithm, "AEDB-MLS");
-  EXPECT_EQ(records[0].density, 100);
-  EXPECT_GE(records[0].evaluations, 16u);
+  EXPECT_TRUE(
+      extract(samples, "C", "d100", &IndicatorSample::hypervolume).empty());
 }
 
 }  // namespace

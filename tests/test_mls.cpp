@@ -48,6 +48,21 @@ TEST(Mls, EvaluationBudgetApproximatelyRespected) {
                        config.feasible_init_retries + 1));
 }
 
+TEST(Mls, ExtraEvaluationWorkersConsumeTheRemainder) {
+  const moo::MiniAedbLikeProblem problem;
+  MlsConfig config = tiny_config();
+  config.evaluations_per_thread = 10;
+  config.extra_evaluation_workers = 4;  // declared budget 6*10 + 4 = 64
+  AedbMls mls(config);
+  const moo::AlgorithmResult result = mls.run(problem, 5);
+  const std::size_t workers = config.populations * config.threads_per_population;
+  const std::size_t declared =
+      workers * config.evaluations_per_thread + config.extra_evaluation_workers;
+  EXPECT_GE(result.evaluations, declared);
+  EXPECT_LE(result.evaluations,
+            declared + workers * config.feasible_init_retries);
+}
+
 TEST(Mls, StatsAreConsistent) {
   const moo::MiniAedbLikeProblem problem;
   AedbMls mls(tiny_config());

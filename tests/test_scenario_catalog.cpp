@@ -1,0 +1,121 @@
+/// ScenarioCatalog preset invariants: the Table II densities plus the
+/// non-paper regimes, the dynamic d<N> keys, and the derived simulator /
+/// tuning-problem configurations.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "aedb/tuning_problem.hpp"
+#include "expt/scale.hpp"
+#include "expt/scenario_catalog.hpp"
+
+namespace aedbmls::expt {
+namespace {
+
+TEST(ScenarioCatalog, TableTwoPresetsMatchThePaper) {
+  const auto& catalog = ScenarioCatalog::instance();
+  const struct {
+    const char* key;
+    int density;
+    std::size_t nodes;
+  } expected[] = {{"d100", 100, 25}, {"d200", 200, 50}, {"d300", 300, 75}};
+  for (const auto& row : expected) {
+    const ScenarioSpec spec = catalog.resolve(row.key);
+    EXPECT_EQ(spec.devices_per_km2, row.density);
+    EXPECT_EQ(spec.area_width_m, 500.0);
+    EXPECT_EQ(spec.area_height_m, 500.0);
+    EXPECT_EQ(spec.mobility, sim::MobilityKind::kRandomWalk);
+    EXPECT_EQ(spec.max_speed_mps, 2.0);
+    EXPECT_EQ(spec.node_count(), row.nodes);  // 25/50/75 <=> 100/200/300
+    EXPECT_EQ(spec.shadowing_sigma_db, 0.0);
+  }
+  EXPECT_EQ(paper_scenarios(),
+            (std::vector<std::string>{"d100", "d200", "d300"}));
+}
+
+TEST(ScenarioCatalog, NonPaperRegimesExistWithTheRightPhysics) {
+  const auto& catalog = ScenarioCatalog::instance();
+
+  const ScenarioSpec frozen = catalog.resolve("static-grid");
+  EXPECT_EQ(frozen.mobility, sim::MobilityKind::kStatic);
+  EXPECT_EQ(frozen.max_speed_mps, 0.0);
+
+  const ScenarioSpec vehicular = catalog.resolve("highspeed");
+  EXPECT_EQ(vehicular.mobility, sim::MobilityKind::kRandomWaypoint);
+  EXPECT_GE(vehicular.min_speed_mps, 10.0);
+  EXPECT_GT(vehicular.max_speed_mps, vehicular.min_speed_mps);
+
+  const ScenarioSpec sparse = catalog.resolve("sparse-wide");
+  EXPECT_EQ(sparse.area_width_m, 1000.0);
+  EXPECT_EQ(sparse.area_height_m, 1000.0);
+  EXPECT_LT(sparse.devices_per_km2, 100);
+  EXPECT_EQ(sparse.node_count(), 50u);  // 50 dev/km^2 on 1 km^2
+}
+
+TEST(ScenarioCatalog, EveryPresetHasAKeyAndDescription) {
+  for (const ScenarioSpec& spec : ScenarioCatalog::instance().specs()) {
+    EXPECT_FALSE(spec.key.empty());
+    EXPECT_FALSE(spec.description.empty());
+    EXPECT_GT(spec.devices_per_km2, 0);
+    EXPECT_GT(spec.node_count(), 0u);
+  }
+}
+
+TEST(ScenarioCatalog, DynamicDensityKeysResolve) {
+  const auto& catalog = ScenarioCatalog::instance();
+  const ScenarioSpec spec = catalog.resolve("d150");
+  EXPECT_EQ(spec.devices_per_km2, 150);
+  EXPECT_EQ(spec.node_count(), 38u);  // round(150 * 0.25 km^2)
+  EXPECT_EQ(density_key(150), "d150");
+
+  EXPECT_FALSE(catalog.contains("d0"));
+  EXPECT_FALSE(catalog.contains("d-5"));
+  EXPECT_FALSE(catalog.contains("dxyz"));
+  EXPECT_FALSE(catalog.contains("d15x"));
+  EXPECT_FALSE(catalog.contains("d+300"));       // no sign
+  EXPECT_FALSE(catalog.contains("d0100"));       // no leading zero
+  EXPECT_FALSE(catalog.contains("d4294967397"));  // would wrap an int
+}
+
+TEST(ScenarioCatalog, UnknownKeyThrowsWithTheRegisteredList) {
+  try {
+    (void)ScenarioCatalog::instance().resolve("underwater");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("underwater"), std::string::npos);
+    EXPECT_NE(message.find("d100"), std::string::npos);
+    EXPECT_NE(message.find("static-grid"), std::string::npos);
+  }
+}
+
+TEST(ScenarioCatalog, ProblemConfigWiresScaleAndScenarioThrough) {
+  Scale scale;
+  scale.networks = 4;
+  scale.seed = 99;
+  const ScenarioSpec spec = ScenarioCatalog::instance().resolve("sparse-wide");
+  const aedb::AedbTuningProblem::Config config = spec.problem_config(scale);
+  EXPECT_EQ(config.network_count, 4u);
+  EXPECT_EQ(config.seed, 99u);
+  EXPECT_EQ(config.devices_per_km2, 50);
+  EXPECT_EQ(config.scenario.network.area_width, 1000.0);
+
+  // The tuning problem derives its node count from density x arena.
+  const aedb::AedbTuningProblem problem(config);
+  EXPECT_EQ(problem.config().scenario.network.node_count, 50u);
+  EXPECT_EQ(problem.config().scenario.network.seed, 99u);
+}
+
+TEST(ScenarioCatalog, ScenarioConfigIsDeterministic) {
+  const ScenarioSpec spec = ScenarioCatalog::instance().resolve("highspeed");
+  const aedb::ScenarioConfig a = spec.scenario_config(7, 2);
+  const aedb::ScenarioConfig b = spec.scenario_config(7, 2);
+  EXPECT_EQ(a.network.node_count, b.network.node_count);
+  EXPECT_EQ(a.network.seed, b.network.seed);
+  EXPECT_EQ(a.network.network_index, 2u);
+  EXPECT_EQ(a.network.max_speed, 30.0);
+}
+
+}  // namespace
+}  // namespace aedbmls::expt
