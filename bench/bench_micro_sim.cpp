@@ -1,19 +1,67 @@
 /// E11a — google-benchmark micro-benchmarks of the simulation substrate:
-/// event scheduling throughput, mobility queries, propagation math, beacon
-/// warm-up and full AEDB scenarios per density.  These bound the cost of
-/// one fitness evaluation, which everything in §V's budget math scales
-/// with.
+/// event scheduling throughput, mobility queries, propagation math, full
+/// AEDB scenarios per density (fresh-construction and pooled-context), and
+/// heap-allocation counts per scenario.  These bound the cost of one
+/// fitness evaluation, which everything in §V's budget math scales with.
 
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
 
 #include "aedb/scenario.hpp"
 #include "sim/core/simulator.hpp"
 #include "sim/mobility/random_walk.hpp"
 #include "sim/propagation/log_distance.hpp"
 
+/// Global allocation counter: the `allocs_per_run` counters below report
+/// the steady-state heap traffic of one scenario run (approximate — the
+/// benchmark harness allocates a little between iterations, but that noise
+/// is orders of magnitude below the signal being tracked).
+///
+/// The overrides are `noinline`: when GCC inlines the malloc-backed
+/// `operator new` into call sites it misattributes the paired `free` as a
+/// new/free mismatch (-Wmismatched-new-delete false positive under -O2).
+namespace {
+std::atomic<unsigned long long> g_allocations{0};
+}  // namespace
+
+#if defined(__GNUC__) || defined(__clang__)
+#define AEDB_BENCH_NOINLINE __attribute__((noinline))
+#else
+#define AEDB_BENCH_NOINLINE
+#endif
+
+AEDB_BENCH_NOINLINE void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+AEDB_BENCH_NOINLINE void operator delete(void* p) noexcept { std::free(p); }
+AEDB_BENCH_NOINLINE void operator delete(void* p, std::size_t) noexcept {
+  std::free(p);
+}
+AEDB_BENCH_NOINLINE void* operator new[](std::size_t size) {
+  return operator new(size);
+}
+AEDB_BENCH_NOINLINE void operator delete[](void* p) noexcept { std::free(p); }
+AEDB_BENCH_NOINLINE void operator delete[](void* p, std::size_t) noexcept {
+  std::free(p);
+}
+
 namespace {
 
 using namespace aedbmls;
+
+aedb::AedbParams bench_params() {
+  aedb::AedbParams params;
+  params.min_delay_s = 0.1;
+  params.max_delay_s = 0.8;
+  params.border_threshold_dbm = -88.0;
+  params.neighbors_threshold = 15.0;
+  return params;
+}
 
 void BM_SchedulerInsertPop(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -69,27 +117,56 @@ void BM_LogDistanceRx(benchmark::State& state) {
 BENCHMARK(BM_LogDistanceRx);
 
 void BM_FullScenario(benchmark::State& state) {
+  // Fresh-construction path: the whole object graph is rebuilt per run.
   const int density = static_cast<int>(state.range(0));
   const aedb::ScenarioConfig config = aedb::make_paper_scenario(density, 1, 0);
-  aedb::AedbParams params;
-  params.min_delay_s = 0.1;
-  params.max_delay_s = 0.8;
-  params.border_threshold_dbm = -88.0;
-  params.neighbors_threshold = 15.0;
+  const aedb::AedbParams params = bench_params();
   std::uint64_t events = 0;
+  const unsigned long long allocs0 = g_allocations.load(std::memory_order_relaxed);
   for (auto _ : state) {
     const auto result = aedb::run_scenario(config, params);
     events += result.events_executed;
     benchmark::DoNotOptimize(result.stats.coverage);
   }
+  state.counters["allocs_per_run"] = benchmark::Counter(
+      static_cast<double>(g_allocations.load(std::memory_order_relaxed) - allocs0) /
+      static_cast<double>(state.iterations()));
   state.SetItemsProcessed(static_cast<std::int64_t>(events));
   state.SetLabel("events/s");
 }
 BENCHMARK(BM_FullScenario)->Arg(100)->Arg(200)->Arg(300)
     ->Unit(benchmark::kMillisecond);
 
+void BM_FullScenarioPooled(benchmark::State& state) {
+  // Pooled-context path (the optimiser hot path): after the first
+  // iteration every run re-arms the workspace's cached graph, so
+  // `allocs_per_run` approaches the steady-state floor.
+  const int density = static_cast<int>(state.range(0));
+  const aedb::ScenarioConfig config = aedb::make_paper_scenario(density, 1, 0);
+  const aedb::AedbParams params = bench_params();
+  aedb::ScenarioWorkspace workspace;
+  benchmark::DoNotOptimize(
+      aedb::run_scenario(config, params, &workspace).stats.coverage);
+  std::uint64_t events = 0;
+  const unsigned long long allocs0 = g_allocations.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    const auto result = aedb::run_scenario(config, params, &workspace);
+    events += result.events_executed;
+    benchmark::DoNotOptimize(result.stats.coverage);
+  }
+  state.counters["allocs_per_run"] = benchmark::Counter(
+      static_cast<double>(g_allocations.load(std::memory_order_relaxed) - allocs0) /
+      static_cast<double>(state.iterations()));
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.SetLabel("events/s");
+}
+BENCHMARK(BM_FullScenarioPooled)->Arg(100)->Arg(200)->Arg(300)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_TenNetworkEvaluation(benchmark::State& state) {
-  // One full paper-style fitness evaluation (10 networks, 100 dev/km^2).
+  // One full paper-style fitness evaluation (10 networks, 100 dev/km^2),
+  // fresh-construction path.  Params kept as in the original benchmark so
+  // the series stays comparable across PRs.
   aedb::ScenarioConfig config = aedb::make_paper_scenario(100, 1, 0);
   aedb::AedbParams params;
   params.max_delay_s = 0.8;
@@ -105,5 +182,26 @@ void BM_TenNetworkEvaluation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TenNetworkEvaluation)->Unit(benchmark::kMillisecond);
+
+void BM_TenNetworkEvaluationPooled(benchmark::State& state) {
+  // The same fitness evaluation through a worker workspace: all ten
+  // network graphs stay pooled across candidate evaluations, as in
+  // `AedbTuningProblem::evaluate_batch`.
+  aedb::ScenarioConfig config = aedb::make_paper_scenario(100, 1, 0);
+  aedb::AedbParams params;
+  params.max_delay_s = 0.8;
+  params.border_threshold_dbm = -88.0;
+  aedb::ScenarioWorkspace workspace;
+  for (auto _ : state) {
+    double coverage = 0.0;
+    for (std::uint64_t network = 0; network < 10; ++network) {
+      config.network.network_index = network;
+      coverage += static_cast<double>(
+          aedb::run_scenario(config, params, &workspace).stats.coverage);
+    }
+    benchmark::DoNotOptimize(coverage);
+  }
+}
+BENCHMARK(BM_TenNetworkEvaluationPooled)->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -59,6 +59,17 @@ class AedbApp final : public sim::Application {
 
   void on_receive(const sim::Frame& frame, double rx_dbm) override;
 
+  /// Re-arms the protocol for a fresh run (new candidate parameters, fresh
+  /// RNG stream, message ledger and counters cleared), bitwise-equivalent
+  /// to constructing a new app.  The beacon-app and collector references
+  /// are retained — pooled contexts keep both alive across runs.
+  void reset(Config config, CounterRng stream) {
+    config_ = config;
+    rng_ = stream.engine();
+    messages_.clear();
+    counters_ = Counters{};
+  }
+
   /// Decision trace counters (tests / trace example).
   struct Counters {
     std::uint64_t first_receptions = 0;

@@ -48,6 +48,23 @@ struct BroadcastStats {
 /// (one collector per Simulator instance).
 class BroadcastStatsCollector {
  public:
+  /// Returns the collector to its just-constructed state so a pooled
+  /// context can reuse it for the next run (`begin` requires a fresh
+  /// ledger).  The first-reception map is rebuilt rather than cleared so
+  /// its state is bitwise-fresh.
+  void reset() {
+    message_ = 0;
+    origin_ = kInvalidNode;
+    origination_ = sim::Time{};
+    network_size_ = 0;
+    first_rx_ = decltype(first_rx_){};
+    forwardings_ = 0;
+    energy_dbm_sum_ = 0.0;
+    energy_mj_ = 0.0;
+    drop_decisions_ = 0;
+    mac_drops_ = 0;
+  }
+
   /// Declares the broadcast about to happen.
   void begin(MessageId message, NodeId origin, sim::Time origination,
              std::size_t network_size);

@@ -1,38 +1,65 @@
 #include "aedb/scenario.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
+#include "aedb/simulation_context.hpp"
 #include "common/assert.hpp"
 #include "sim/mobility/placement.hpp"
 
 namespace aedbmls::aedb {
 
+ScenarioWorkspace::ScenarioWorkspace() = default;
+ScenarioWorkspace::~ScenarioWorkspace() = default;
+
+ScenarioWorkspace::TopologyKey ScenarioWorkspace::TopologyKey::of(
+    const sim::NetworkConfig& net) noexcept {
+  return TopologyKey{net.seed, net.network_index, net.node_count,
+                     net.area_width, net.area_height};
+}
+
 const std::vector<sim::Vec2>& ScenarioWorkspace::positions_for(
     const sim::NetworkConfig& net) {
-  for (const Topology& t : cache_) {
-    if (t.seed == net.seed && t.network_index == net.network_index &&
-        t.node_count == net.node_count && t.area_width == net.area_width &&
-        t.area_height == net.area_height) {
+  const TopologyKey key = TopologyKey::of(net);
+  for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+    if (it->key == key) {
       ++stats_.hits;
-      return t.positions;
+      // Move-to-front keeps the repeated-lookup pattern O(1) and makes the
+      // back of the vector the LRU eviction victim.
+      std::rotate(cache_.begin(), it, it + 1);
+      return cache_.front().positions;
     }
   }
   ++stats_.misses;
-  if (cache_.size() >= kCapacity) cache_.erase(cache_.begin());
+  if (cache_.size() >= kCapacity) cache_.pop_back();
   Topology t;
-  t.seed = net.seed;
-  t.network_index = net.network_index;
-  t.node_count = net.node_count;
-  t.area_width = net.area_width;
-  t.area_height = net.area_height;
+  t.key = key;
   // Exactly the draw Network's constructor would make (same stream id).
   const CounterRng network_stream(net.seed, {net.network_index});
   t.positions = sim::uniform_positions(network_stream.child(0x905e0bULL),
                                        net.node_count, net.area_width,
                                        net.area_height);
   cache_.push_back(std::move(t));
-  return cache_.back().positions;
+  std::rotate(cache_.begin(), cache_.end() - 1, cache_.end());
+  return cache_.front().positions;
+}
+
+SimulationContext& ScenarioWorkspace::context_for(const sim::NetworkConfig& net) {
+  const TopologyKey key = TopologyKey::of(net);
+  for (auto it = contexts_.begin(); it != contexts_.end(); ++it) {
+    if (it->key == key) {
+      ++stats_.context_hits;
+      std::rotate(contexts_.begin(), it, it + 1);
+      return *contexts_.front().context;
+    }
+  }
+  ++stats_.context_misses;
+  if (contexts_.size() >= kContextCapacity) contexts_.pop_back();
+  contexts_.push_back(
+      PooledContext{key, std::make_unique<SimulationContext>()});
+  std::rotate(contexts_.begin(), contexts_.end() - 1, contexts_.end());
+  return *contexts_.front().context;
 }
 
 std::size_t nodes_for_density(int devices_per_km2, double area_width,
@@ -54,88 +81,13 @@ ScenarioConfig make_paper_scenario(int devices_per_km2, std::uint64_t seed,
 ScenarioResult run_scenario(const ScenarioConfig& config,
                             const AedbParams& params,
                             ScenarioWorkspace* workspace) {
-  // Note: beacon_start may be *after* broadcast_at — a valid (if unusual)
-  // configuration in which forwarders have no neighbor knowledge and fall
-  // back to default-power transmissions (exercised by the test suite).
-  AEDB_REQUIRE(config.end_at > config.broadcast_at, "empty broadcast window");
-
-  sim::NetworkConfig network_config = config.network;
-  if (workspace != nullptr && network_config.preset_positions == nullptr) {
-    network_config.preset_positions =
-        &workspace->positions_for(network_config);
+  if (workspace != nullptr) {
+    return workspace->context_for(config.network).run(config, params, workspace);
   }
-
-  sim::Simulator simulator(
-      CounterRng(config.network.seed, {config.network.network_index}).key());
-  sim::Network network(simulator, network_config);
-  const std::size_t n = network.size();
-
-  BroadcastStatsCollector collector;
-
-  // Install beaconing + AEDB on every node.  App RNG streams derive from the
-  // (seed, network) pair so runs are reproducible bit-for-bit.
-  const CounterRng app_stream = network.scenario_stream().child(0xA44);
-  std::vector<AedbApp*> apps;
-  apps.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    sim::Node& node = network.node(i);
-
-    sim::BeaconApp::Config beacon_config;
-    beacon_config.start_at = config.beacon_start;
-    beacon_config.period = config.beacon_period;
-    beacon_config.tx_power_dbm = config.default_tx_dbm;
-    auto& beacons = node.add_app<sim::BeaconApp>(beacon_config,
-                                                 app_stream.child(2 * i));
-
-    AedbApp::Config aedb_config;
-    aedb_config.params = params;
-    aedb_config.default_tx_dbm = config.default_tx_dbm;
-    aedb_config.data_bytes = config.data_bytes;
-    auto& app = node.add_app<AedbApp>(aedb_config, beacons, collector,
-                                      app_stream.child(2 * i + 1));
-    apps.push_back(&app);
-
-    // Energy/forwarding accounting happens at the MAC (actual airtime).
-    const double duration_s =
-        node.device().phy().frame_duration(config.data_bytes).seconds();
-    node.device().set_sent_callback(
-        [&collector, id = node.id(), duration_s](const sim::Frame& frame,
-                                                 double tx_dbm) {
-          if (frame.kind == sim::FrameKind::kData) {
-            collector.record_data_tx(id, tx_dbm, duration_s);
-          }
-        });
-    node.device().mac().set_drop_callback(
-        [&collector, id = node.id()](const sim::Frame& frame) {
-          if (frame.kind == sim::FrameKind::kData) collector.record_mac_drop(id);
-        });
-  }
-
-  // Source selection: fixed per (seed, network_index), so every candidate
-  // configuration is judged on identical dissemination instances.
-  const std::uint64_t source_index =
-      config.random_source
-          ? network.scenario_stream().bits(0x50BCE) % n
-          : 0;
-  const MessageId message = 1;
-
-  simulator.schedule_at(config.broadcast_at, [&, source_index] {
-    collector.begin(message, static_cast<NodeId>(source_index),
-                    simulator.now(), n);
-    apps[source_index]->originate(message);
-  });
-
-  simulator.run_until(config.end_at);
-
-  std::uint64_t collisions = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    collisions += network.node(i).device().phy().counters().rx_failed_sinr;
-  }
-
-  ScenarioResult result;
-  result.stats = collector.finalize(collisions);
-  result.events_executed = simulator.executed_events();
-  return result;
+  // No workspace: a throwaway context runs the fresh-construction path —
+  // the identical code a pooled context executes on first use.
+  SimulationContext context;
+  return context.run(config, params, nullptr);
 }
 
 }  // namespace aedbmls::aedb

@@ -8,6 +8,7 @@
 /// the broadcast starts at t = 30 s, and the simulation ends at t = 40 s.
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "aedb/aedb_app.hpp"
@@ -45,44 +46,89 @@ struct ScenarioResult {
   std::uint64_t events_executed = 0;  ///< simulator throughput metric
 };
 
+class SimulationContext;
+
 /// Per-worker reusable evaluation state.  The paper's setup judges every
-/// candidate configuration on the *same* fixed networks, so their topologies
-/// (placement draws) are pure functions of (seed, network_index) — this
-/// cache builds each one once per worker thread instead of once per
-/// `evaluate()` call.  Bitwise-neutral: cached positions are exactly what
-/// `Network` would re-derive.  Not thread-safe; use one instance per thread
-/// (see `AedbTuningProblem::evaluate_batch`).
+/// candidate configuration on the *same* fixed networks, so two things are
+/// worth keeping alive across evaluations on a worker thread:
+///
+///  * **topologies** — placement draws are pure functions of
+///    (seed, network_index); each is computed once and cached.
+///    Bitwise-neutral: cached positions are exactly what `Network` would
+///    re-derive;
+///  * **simulation contexts** — complete pooled object graphs
+///    (`SimulationContext`), keyed like the topology entries, so
+///    `run_scenario` re-arms an existing graph instead of reconstructing
+///    `Simulator`/`Network`/apps on every call.
+///
+/// Both caches are recency-ordered (move-to-front on hit, evict from the
+/// back), which makes the common repeated-lookup pattern O(1).
+/// Not thread-safe; use one instance per thread (see
+/// `AedbTuningProblem::evaluate_batch`).
 class ScenarioWorkspace {
  public:
+  ScenarioWorkspace();
+  ~ScenarioWorkspace();
+  ScenarioWorkspace(const ScenarioWorkspace&) = delete;
+  ScenarioWorkspace& operator=(const ScenarioWorkspace&) = delete;
+
   /// Positions for `net`'s topology, computed on first use and cached.
-  /// The reference stays valid until the next call (FIFO eviction).
+  /// The reference stays valid until the next call (LRU eviction).
   [[nodiscard]] const std::vector<sim::Vec2>& positions_for(
       const sim::NetworkConfig& net);
 
+  /// The pooled simulation context for `net`'s topology key, built on
+  /// first use.  A context whose key matches but whose full network
+  /// configuration differs re-arms itself on the next run (see
+  /// `SimulationContext::run`).  The reference stays valid until the next
+  /// call (LRU eviction).
+  [[nodiscard]] SimulationContext& context_for(const sim::NetworkConfig& net);
+
   struct Stats {
-    std::uint64_t hits = 0;    ///< runs served from the topology cache
-    std::uint64_t misses = 0;  ///< topologies built
+    std::uint64_t hits = 0;            ///< runs served from the topology cache
+    std::uint64_t misses = 0;          ///< topologies built
+    std::uint64_t context_hits = 0;    ///< runs served by a pooled context
+    std::uint64_t context_misses = 0;  ///< contexts built
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
  private:
-  struct Topology {
+  /// What placement (and hence context identity) depends on.
+  struct TopologyKey {
     std::uint64_t seed = 0;
     std::uint64_t network_index = 0;
     std::size_t node_count = 0;
     double area_width = 0.0;
     double area_height = 0.0;
+
+    [[nodiscard]] static TopologyKey of(const sim::NetworkConfig& net) noexcept;
+    friend constexpr bool operator==(const TopologyKey&, const TopologyKey&) = default;
+  };
+  struct Topology {
+    TopologyKey key;
     std::vector<sim::Vec2> positions;
   };
+  struct PooledContext {
+    TopologyKey key;
+    std::unique_ptr<SimulationContext> context;
+  };
   static constexpr std::size_t kCapacity = 64;  ///< > densities x networks
+  /// Contexts hold full object graphs; bound their count tighter than the
+  /// (cheap) position entries.  10 fixed evaluation networks per problem
+  /// fit with room for an interleaved second scenario.
+  static constexpr std::size_t kContextCapacity = 16;
 
-  std::vector<Topology> cache_;
+  std::vector<Topology> cache_;          ///< recency-ordered, front = MRU
+  std::vector<PooledContext> contexts_;  ///< recency-ordered, front = MRU
   Stats stats_{};
 };
 
 /// Runs the scenario once with the given protocol configuration.
 /// Deterministic: identical (config, params) always yields identical stats,
-/// with or without a workspace (the cache only skips re-deriving placement).
+/// with or without a workspace — pooled/re-armed runs are bitwise-identical
+/// to fresh-construction runs.  With a workspace the run is served by a
+/// pooled `SimulationContext` (reused object graph, recycled event arena);
+/// without one a fresh context is built on the stack.
 [[nodiscard]] ScenarioResult run_scenario(const ScenarioConfig& config,
                                           const AedbParams& params,
                                           ScenarioWorkspace* workspace = nullptr);

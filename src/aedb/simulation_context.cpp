@@ -1,0 +1,133 @@
+#include "aedb/simulation_context.hpp"
+
+#include "common/assert.hpp"
+
+namespace aedbmls::aedb {
+
+bool SimulationContext::bind_network(const sim::NetworkConfig& config,
+                                     ScenarioWorkspace* workspace) {
+  if (network_.has_value() && sim::equivalent(network_->config(), config)) {
+    network_->restart();
+    ++stats_.rebinds;
+    return false;
+  }
+  sim::NetworkConfig network_config = config;
+  if (workspace != nullptr && network_config.preset_positions == nullptr) {
+    network_config.preset_positions =
+        &workspace->positions_for(network_config);
+  }
+  if (!network_.has_value()) {
+    network_.emplace(simulator_, network_config);
+    ++stats_.builds;
+  } else {
+    network_->reset(network_config);
+    ++stats_.reconfigures;
+  }
+  return true;
+}
+
+void SimulationContext::configure_apps(const ScenarioConfig& config,
+                                       const AedbParams& params,
+                                       bool reinstall) {
+  const std::size_t n = network_->size();
+  data_duration_s_ =
+      network_->node(0).device().phy().frame_duration(config.data_bytes).seconds();
+  collector_.reset();
+
+  sim::BeaconApp::Config beacon_config;
+  beacon_config.start_at = config.beacon_start;
+  beacon_config.period = config.beacon_period;
+  beacon_config.tx_power_dbm = config.default_tx_dbm;
+
+  AedbApp::Config aedb_config;
+  aedb_config.params = params;
+  aedb_config.default_tx_dbm = config.default_tx_dbm;
+  aedb_config.data_bytes = config.data_bytes;
+
+  // App RNG streams derive from the (seed, network) pair so runs are
+  // reproducible bit-for-bit.
+  const CounterRng app_stream = network_->scenario_stream().child(0xA44);
+
+  if (reinstall) {
+    beacons_.clear();
+    apps_.clear();
+    beacons_.reserve(n);
+    apps_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      sim::Node& node = network_->node(i);
+      auto& beacons =
+          node.add_app<sim::BeaconApp>(beacon_config, app_stream.child(2 * i));
+      auto& app = node.add_app<AedbApp>(aedb_config, beacons, collector_,
+                                        app_stream.child(2 * i + 1));
+      beacons_.push_back(&beacons);
+      apps_.push_back(&app);
+
+      // Energy/forwarding accounting happens at the MAC (actual airtime).
+      // Installed once per graph: the lambdas capture only stable context
+      // state, so the rebind hot path never reassigns a std::function.
+      node.device().set_sent_callback(
+          [this, id = node.id()](const sim::Frame& frame, double tx_dbm) {
+            if (frame.kind == sim::FrameKind::kData) {
+              collector_.record_data_tx(id, tx_dbm, data_duration_s_);
+            }
+          });
+      node.device().mac().set_drop_callback(
+          [this, id = node.id()](const sim::Frame& frame) {
+            if (frame.kind == sim::FrameKind::kData) {
+              collector_.record_mac_drop(id);
+            }
+          });
+    }
+  } else {
+    // Re-arm the installed apps in the exact order the install path uses:
+    // beacon reset + start (draws the phase, schedules the first beacon),
+    // then the AEDB app — event sequence numbers and RNG draws match the
+    // fresh-construction path one for one.
+    for (std::size_t i = 0; i < n; ++i) {
+      beacons_[i]->reset(beacon_config, app_stream.child(2 * i));
+      beacons_[i]->start();
+      apps_[i]->reset(aedb_config, app_stream.child(2 * i + 1));
+    }
+  }
+}
+
+ScenarioResult SimulationContext::run(const ScenarioConfig& config,
+                                      const AedbParams& params,
+                                      ScenarioWorkspace* workspace) {
+  // Note: beacon_start may be *after* broadcast_at — a valid (if unusual)
+  // configuration in which forwarders have no neighbor knowledge and fall
+  // back to default-power transmissions (exercised by the test suite).
+  AEDB_REQUIRE(config.end_at > config.broadcast_at, "empty broadcast window");
+
+  simulator_.reset(
+      CounterRng(config.network.seed, {config.network.network_index}).key());
+  const bool reinstall = bind_network(config.network, workspace);
+  configure_apps(config, params, reinstall);
+  const std::size_t n = network_->size();
+
+  // Source selection: fixed per (seed, network_index), so every candidate
+  // configuration is judged on identical dissemination instances.
+  const std::uint64_t source_index =
+      config.random_source ? network_->scenario_stream().bits(0x50BCE) % n : 0;
+  const MessageId message = 1;
+
+  simulator_.schedule_at(config.broadcast_at, [this, source_index, message] {
+    collector_.begin(message, static_cast<NodeId>(source_index),
+                     simulator_.now(), network_->size());
+    apps_[source_index]->originate(message);
+  });
+
+  simulator_.run_until(config.end_at);
+
+  std::uint64_t collisions = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    collisions += network_->node(i).device().phy().counters().rx_failed_sinr;
+  }
+
+  ScenarioResult result;
+  result.stats = collector_.finalize(collisions);
+  result.events_executed = simulator_.executed_events();
+  return result;
+}
+
+}  // namespace aedbmls::aedb

@@ -58,10 +58,10 @@ AedbTuningProblem::Detail AedbTuningProblem::evaluate_detail(
   return detail;
 }
 
-moo::Problem::Result AedbTuningProblem::evaluate(
-    const std::vector<double>& x) const {
+moo::Problem::Result AedbTuningProblem::evaluate_with(
+    ScenarioWorkspace* workspace, const std::vector<double>& x) const {
   const AedbParams params = AedbParams::from_vector(x);
-  const Detail detail = evaluate_detail(params, &thread_workspace());
+  const Detail detail = evaluate_detail(params, workspace);
   evaluation_count_.fetch_add(1, std::memory_order_relaxed);
 
   Result result;
@@ -72,13 +72,19 @@ moo::Problem::Result AedbTuningProblem::evaluate(
   return result;
 }
 
+moo::Problem::Result AedbTuningProblem::evaluate(
+    const std::vector<double>& x) const {
+  return evaluate_with(&thread_workspace(), x);
+}
+
 void AedbTuningProblem::evaluate_batch(std::span<moo::Solution> batch) const {
-  // `evaluate` already routes through the calling thread's workspace, so the
-  // whole batch shares one topology cache; the override exists so the intent
-  // is explicit and so future per-batch state (e.g. pooled simulators) has a
-  // seam that EvaluationEngine chunks land on.
+  // Acquire the worker's pooled state once for the whole batch: every
+  // run_scenario in it is then served by the workspace's pooled
+  // `SimulationContext`s (reused simulators, networks and event arenas)
+  // instead of reconstructing the object graph per evaluation.
+  ScenarioWorkspace& workspace = thread_workspace();
   for (moo::Solution& s : batch) {
-    if (!s.evaluated) evaluate_into(s);
+    if (!s.evaluated) store_result(s, evaluate_with(&workspace, s.x));
   }
 }
 

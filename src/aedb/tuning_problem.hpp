@@ -11,12 +11,13 @@
 /// (`objectives()[1] = -mean coverage`).  The constraint violation is
 /// `max(0, mean bt − 2 s)`.
 ///
-/// `evaluate` is const and thread-safe: every call builds its own
-/// simulators, which is what lets AEDB-MLS run 96 concurrent evaluators.
-/// The fixed network *topologies* are the exception — they are pure data,
-/// so each worker thread caches them in a `ScenarioWorkspace` and reuses
-/// them across evaluations (`evaluate_batch`) instead of re-deriving the
-/// placement on every call.
+/// `evaluate` is const and thread-safe: all expensive evaluation state is
+/// per-thread, which is what lets AEDB-MLS run 96 concurrent evaluators.
+/// Each worker thread owns a `ScenarioWorkspace` whose pooled
+/// `SimulationContext`s keep the fixed evaluation networks' simulation
+/// graphs alive across evaluations — `run_scenario` re-arms a pooled graph
+/// (bitwise-identical to fresh construction) instead of rebuilding
+/// `Simulator`/`Network`/apps on every call.
 
 #include <atomic>
 #include <cstdint>
@@ -44,9 +45,11 @@ class AedbTuningProblem final : public moo::Problem {
   [[nodiscard]] Result evaluate(const std::vector<double>& x) const override;
 
   /// Batched evaluation with per-thread scenario reuse: the worker's
-  /// `ScenarioWorkspace` keeps the fixed evaluation-network topologies
-  /// alive across the whole batch (and across batches on the same thread).
-  /// Results are bitwise-identical to per-solution `evaluate()` calls.
+  /// `ScenarioWorkspace` is acquired once per batch, and its pooled
+  /// `SimulationContext`s keep the fixed evaluation networks' entire
+  /// simulation graphs (and topologies) alive across the whole batch and
+  /// across batches on the same thread.  Results are bitwise-identical to
+  /// per-solution `evaluate()` calls.
   void evaluate_batch(std::span<moo::Solution> batch) const override;
 
   [[nodiscard]] std::string name() const override;
@@ -73,6 +76,11 @@ class AedbTuningProblem final : public moo::Problem {
   [[nodiscard]] const Config& config() const noexcept { return config_; }
 
  private:
+  /// Shared body of `evaluate`/`evaluate_batch`: one decision vector
+  /// through the given per-thread workspace.
+  [[nodiscard]] Result evaluate_with(ScenarioWorkspace* workspace,
+                                     const std::vector<double>& x) const;
+
   Config config_;
   mutable std::atomic<std::uint64_t> evaluation_count_{0};
 };

@@ -30,7 +30,10 @@ void Problem::evaluate_batch(std::span<Solution> batch) const {
 }
 
 void Problem::evaluate_into(Solution& s) const {
-  Result r = evaluate(s.x);
+  store_result(s, evaluate(s.x));
+}
+
+void Problem::store_result(Solution& s, Result r) const {
   AEDB_REQUIRE(r.objectives.size() == objective_count(),
                "problem returned wrong objective count");
   s.objectives = std::move(r.objectives);

@@ -63,6 +63,12 @@ class Problem {
 
   /// Evaluates `s.x` and fills objectives/violation.
   void evaluate_into(Solution& s) const;
+
+  /// Validates `r` against this problem and stores it into `s`, marking it
+  /// evaluated.  `evaluate_into` and batch overrides that produce their
+  /// `Result`s through other plumbing (e.g. `AedbTuningProblem`'s pooled
+  /// workspaces) share this so the two paths can never diverge.
+  void store_result(Solution& s, Result r) const;
 };
 
 }  // namespace aedbmls::moo

@@ -31,6 +31,17 @@ class BeaconApp final : public Application {
   void start() override;
   void on_receive(const Frame& frame, double rx_dbm) override;
 
+  /// Re-arms the app for a fresh run, bitwise-equivalent to constructing a
+  /// new app with these arguments (pooled contexts reuse the installed app
+  /// object).  Call `start()` afterwards to schedule the first beacon.
+  void reset(Config config, CounterRng stream) {
+    config_ = config;
+    rng_ = stream.engine();
+    table_.reset(config.neighbor_expiry);
+    sent_ = 0;
+    heard_ = 0;
+  }
+
   /// The neighbor table maintained by this app (purged on access).
   [[nodiscard]] NeighborTable& neighbor_table() noexcept { return table_; }
   [[nodiscard]] const Config& config() const noexcept { return config_; }

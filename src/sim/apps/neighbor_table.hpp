@@ -32,6 +32,17 @@ class NeighborTable {
   explicit NeighborTable(Time expiry = aedbmls::sim::seconds_d(2.5)) noexcept
       : expiry_(expiry) {}
 
+  /// Returns the table to its just-constructed state under a (possibly new)
+  /// expiry.  The entry map is rebuilt rather than `clear()`ed on purpose:
+  /// a cleared `unordered_map` keeps its grown bucket array, which changes
+  /// iteration order relative to a fresh table and would break the
+  /// bitwise-determinism contract of pooled scenario reuse (the selection
+  /// helpers below iterate the map).
+  void reset(Time expiry) noexcept {
+    expiry_ = expiry;
+    entries_ = decltype(entries_){};
+  }
+
   /// Records a beacon from `id` heard at `rx_dbm` (sent at `tx_dbm`).
   void update(NodeId id, double rx_dbm, double tx_dbm, Time now);
 

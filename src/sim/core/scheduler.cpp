@@ -1,5 +1,6 @@
 #include "sim/core/scheduler.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/assert.hpp"
@@ -7,43 +8,82 @@
 namespace aedbmls::sim {
 
 EventId Scheduler::insert(Time when, Callback callback) {
-  const std::uint64_t seq = next_seq_++;
-  heap_.push(HeapNode{when, seq, std::move(callback)});
-  return EventId(seq);
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  slots_[slot].callback = std::move(callback);
+  heap_.push_back(HeapNode{when, next_seq_++, slot, slots_[slot].generation});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  ++live_;
+  return encode(slot, slots_[slot].generation);
 }
 
 bool Scheduler::cancel(EventId id) {
-  if (!id.valid() || id.raw() >= next_seq_) return false;
-  // Only mark ids that are plausibly still in the heap; executed events were
-  // removed, so inserting their id would leak set entries.  We cannot cheaply
-  // distinguish executed from pending, so we bound the set by erasing on pop.
-  return cancelled_.insert(id.raw()).second;
+  if (!id.valid()) return false;
+  const std::uint64_t index = (id.raw() & 0xffffffffULL) - 1;
+  const auto generation = static_cast<std::uint32_t>(id.raw() >> 32);
+  if (index >= slots_.size()) return false;
+  Slot& slot = slots_[index];
+  // A generation mismatch means the event already ran, was already
+  // cancelled, or its slot was recycled by a newer event — all no-ops.
+  if (slot.generation != generation) return false;
+  slot.callback.reset();
+  ++slot.generation;  // invalidates the id and the stale heap node
+  free_.push_back(static_cast<std::uint32_t>(index));
+  --live_;
+  return true;
 }
 
-void Scheduler::drop_cancelled_top() {
-  while (!heap_.empty()) {
-    const auto it = cancelled_.find(heap_.top().seq);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
-    heap_.pop();
+void Scheduler::drop_stale_top() noexcept {
+  while (!heap_.empty() &&
+         slots_[heap_.front().slot].generation != heap_.front().generation) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
   }
 }
 
+void Scheduler::pop_top_node() noexcept {
+  Slot& slot = slots_[heap_.front().slot];
+  slot.callback.reset();
+  ++slot.generation;
+  free_.push_back(heap_.front().slot);
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  heap_.pop_back();
+  --live_;
+}
+
 Time Scheduler::next_time() {
-  drop_cancelled_top();
+  drop_stale_top();
   AEDB_REQUIRE(!heap_.empty(), "next_time on empty scheduler");
-  return heap_.top().when;
+  return heap_.front().when;
 }
 
 Scheduler::Entry Scheduler::pop() {
-  drop_cancelled_top();
+  drop_stale_top();
   AEDB_REQUIRE(!heap_.empty(), "pop on empty scheduler");
-  // priority_queue::top() is const; the node is moved out via const_cast,
-  // which is safe because pop() immediately removes it.
-  auto& top = const_cast<HeapNode&>(heap_.top());
-  Entry entry{top.when, EventId(top.seq), std::move(top.callback)};
-  heap_.pop();
+  const HeapNode& top = heap_.front();
+  Entry entry{top.when, encode(top.slot, top.generation),
+              std::move(slots_[top.slot].callback)};
+  pop_top_node();
   return entry;
+}
+
+void Scheduler::clear() noexcept {
+  for (const HeapNode& node : heap_) {
+    Slot& slot = slots_[node.slot];
+    if (slot.generation != node.generation) continue;  // already cancelled
+    slot.callback.reset();
+    ++slot.generation;
+    free_.push_back(node.slot);
+  }
+  heap_.clear();
+  live_ = 0;
+  next_seq_ = 1;
 }
 
 }  // namespace aedbmls::sim

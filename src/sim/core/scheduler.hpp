@@ -1,26 +1,30 @@
 #pragma once
 
-/// Pending-event set: a binary heap ordered by (time, insertion sequence).
+/// Pending-event set: a binary heap over a recycled slot arena.
 ///
-/// Ties in time are broken by insertion order, which makes simulations
-/// deterministic: two events scheduled for the same instant always run in
-/// the order they were scheduled.  Cancellation is lazy (a cancelled id set);
-/// cancelled events are skipped at pop time, which keeps cancel() O(1).
+/// Heap nodes order by (time, insertion sequence); ties in time break by
+/// insertion order, which makes simulations deterministic: two events
+/// scheduled for the same instant always run in the order they were
+/// scheduled.  Callbacks live in generation-tagged arena slots
+/// (`InlineFunction`, no heap allocation per event); an `EventId` encodes
+/// (slot, generation), so cancellation is an O(1) generation bump — stale
+/// heap nodes are skipped at pop time, and a cancelled id that hits a
+/// recycled slot is a guaranteed no-op because the generation no longer
+/// matches.  Steady state allocates nothing: slots, the free list and the
+/// heap all reuse their storage.
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/core/event.hpp"
+#include "sim/core/inline_function.hpp"
 #include "sim/core/time.hpp"
 
 namespace aedbmls::sim {
 
 class Scheduler {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineFunction;
 
   /// Inserts an event; returns its id.
   EventId insert(Time when, Callback callback);
@@ -30,9 +34,7 @@ class Scheduler {
   bool cancel(EventId id);
 
   /// True when no runnable (non-cancelled) event remains.
-  [[nodiscard]] bool empty() const noexcept {
-    return heap_.size() == cancelled_.size();
-  }
+  [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
 
   /// Timestamp of the next runnable event.  Requires !empty().
   [[nodiscard]] Time next_time();
@@ -46,16 +48,30 @@ class Scheduler {
   Entry pop();
 
   /// Number of pending (non-cancelled) events.
-  [[nodiscard]] std::size_t size() const noexcept {
-    return heap_.size() - cancelled_.size();
-  }
+  [[nodiscard]] std::size_t size() const noexcept { return live_; }
+
+  /// Drops every pending event and resets the insertion sequence, keeping
+  /// slot/heap storage (and slot generations, so stale ids from before the
+  /// clear still cancel as no-ops).  This is the per-run reset of pooled
+  /// simulators.
+  void clear() noexcept;
+
+  /// Slots ever allocated (high-water mark of concurrent events; test/bench
+  /// visibility into arena recycling).
+  [[nodiscard]] std::size_t arena_slots() const noexcept { return slots_.size(); }
 
  private:
-  struct HeapNode {
-    Time when;
-    std::uint64_t seq;  // doubles as the EventId payload
+  struct Slot {
+    std::uint32_t generation = 0;
     Callback callback;
   };
+  struct HeapNode {
+    Time when;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t generation;
+  };
+  /// Max-heap comparator under which the *earliest* node is the top.
   struct Later {
     bool operator()(const HeapNode& a, const HeapNode& b) const noexcept {
       if (a.when != b.when) return a.when > b.when;
@@ -63,11 +79,21 @@ class Scheduler {
     }
   };
 
-  void drop_cancelled_top();
+  static constexpr EventId encode(std::uint32_t slot, std::uint32_t generation) noexcept {
+    return EventId((static_cast<std::uint64_t>(generation) << 32) |
+                   (static_cast<std::uint64_t>(slot) + 1));
+  }
 
-  std::priority_queue<HeapNode, std::vector<HeapNode>, Later> heap_;
-  std::unordered_set<std::uint64_t> cancelled_;
-  std::uint64_t next_seq_ = 1;  // 0 reserved for kNoEvent
+  /// Retires the slot behind the current heap top and removes the node.
+  void pop_top_node() noexcept;
+  /// Skips heap nodes whose slot generation moved on (cancelled events).
+  void drop_stale_top() noexcept;
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;  ///< recycled slot indices
+  std::vector<HeapNode> heap_;
+  std::uint64_t next_seq_ = 1;
+  std::size_t live_ = 0;
 };
 
 }  // namespace aedbmls::sim

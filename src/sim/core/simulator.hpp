@@ -24,6 +24,18 @@ class Simulator {
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
+  /// Returns the simulator to its just-constructed state under a (possibly
+  /// new) seed: pending events dropped, clock at zero, event counter reset,
+  /// RNG root re-keyed.  Scheduler arena storage is retained, which is what
+  /// makes pooled simulation contexts allocation-free in steady state.
+  void reset(std::uint64_t seed) noexcept {
+    scheduler_.clear();
+    now_ = Time{};
+    stopped_ = false;
+    executed_ = 0;
+    root_stream_ = CounterRng(seed);
+  }
+
   /// Current simulation time.
   [[nodiscard]] Time now() const noexcept { return now_; }
 

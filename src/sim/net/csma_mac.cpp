@@ -13,6 +13,16 @@ CsmaBroadcastMac::CsmaBroadcastMac(Simulator& simulator, WirelessPhy& phy,
   phy_.set_tx_done_callback([this] { tx_finished(); });
 }
 
+void CsmaBroadcastMac::reset(const Params& params, std::uint64_t rng_seed) {
+  AEDB_REQUIRE(params.cw >= 1, "contention window must be >= 1");
+  params_ = params;
+  rng_ = Xoshiro256(rng_seed);
+  queue_.clear();
+  transmitting_ = false;
+  retry_scheduled_ = false;
+  counters_ = Counters{};
+}
+
 void CsmaBroadcastMac::enqueue(Frame frame, double tx_power_dbm) {
   ++counters_.enqueued;
   const double clamped =

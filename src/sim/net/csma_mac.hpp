@@ -29,6 +29,8 @@ class CsmaBroadcastMac {
     Time slot = microseconds(20);   ///< backoff slot duration
     std::uint32_t cw = 32;          ///< contention window (slots drawn in [0,cw))
     std::uint32_t max_retries = 64; ///< give up (drop) after this many CCA failures
+
+    friend constexpr bool operator==(const Params&, const Params&) = default;
   };
 
   /// Called with the frame when the MAC drops it (CCA never succeeded).
@@ -43,6 +45,12 @@ class CsmaBroadcastMac {
   /// Queues a frame for transmission at `tx_power_dbm` (clamped to the
   /// radio's [min,max] range at enqueue time).
   void enqueue(Frame frame, double tx_power_dbm);
+
+  /// Rearms the MAC for a fresh run: queue flushed, RNG re-seeded, flags
+  /// and counters cleared.  Drop/sent callbacks are kept (pooled contexts
+  /// install them once at graph build).  Bitwise-equivalent to constructing
+  /// a new MAC with the same arguments.
+  void reset(const Params& params, std::uint64_t rng_seed);
 
   void set_drop_callback(DropCallback cb) { on_drop_ = std::move(cb); }
   void set_sent_callback(SentCallback cb) { on_sent_ = std::move(cb); }

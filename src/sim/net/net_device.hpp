@@ -28,6 +28,14 @@ class NetDevice {
   /// Broadcasts `frame` at `tx_power_dbm` (subject to CSMA contention).
   void send(Frame frame, double tx_power_dbm);
 
+  /// Rearms PHY and MAC for a fresh run (see their `reset` docs); the
+  /// radio objects and their callback wiring are reused.
+  void reset(const PhyParams& phy_params, const CsmaBroadcastMac::Params& mac_params,
+             std::uint64_t mac_rng_seed) {
+    phy_->reset(phy_params);
+    mac_->reset(mac_params, mac_rng_seed);
+  }
+
   void set_rx_callback(RxCallback callback);
   void set_sent_callback(SentCallback callback) {
     mac_->set_sent_callback(std::move(callback));

@@ -61,14 +61,37 @@ struct NetworkConfig {
   /// (seed, network_index) — callers (e.g. `aedb::ScenarioWorkspace`) use it
   /// to build a fixed evaluation network once per worker thread instead of
   /// re-deriving the topology on every evaluation.  Not owned; must outlive
-  /// the `Network` constructor call.
+  /// the `Network` constructor (or `reset`) call.
   const std::vector<Vec2>* preset_positions = nullptr;
 };
+
+/// Semantic configuration equality: every simulation-relevant field, with
+/// `preset_positions` excluded (a preset is required to equal the drawn
+/// placement, so it never changes behaviour).  This is the pooling key
+/// test: equivalent configs may share a pooled network via `restart()`.
+[[nodiscard]] bool equivalent(const NetworkConfig& a, const NetworkConfig& b) noexcept;
 
 class Network {
  public:
   /// Builds nodes, channel and radios inside `simulator`.
   Network(Simulator& simulator, const NetworkConfig& config);
+
+  /// Reconfigures this network in place for a different configuration,
+  /// reusing as much of the object graph as shapes allow: with a matching
+  /// `node_count` the Node/NetDevice/PHY/MAC objects (and, when the
+  /// mobility kind also matches, the mobility models) are re-armed rather
+  /// than reallocated.  Installed applications are uninstalled (their
+  /// wiring is configuration-specific); device rx callbacks survive.
+  /// The caller must have cleared the simulator's pending events first.
+  /// Bitwise-equivalent to constructing `Network(simulator, config)`.
+  void reset(const NetworkConfig& config);
+
+  /// Re-arms dynamic state for another run of the *same* configuration:
+  /// PHY/MAC/channel counters, queues and RNG streams return to their
+  /// just-built values; nodes, mobility models and installed applications
+  /// are untouched.  The caller must have cleared the simulator's pending
+  /// events first.  This is the pooled-evaluation hot path.
+  void restart();
 
   [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
   [[nodiscard]] Node& node(std::size_t i) { return *nodes_.at(i); }
@@ -83,7 +106,12 @@ class Network {
   }
 
  private:
+  /// Shared build/reset body; `reuse_storage` re-arms existing nodes.
+  void configure(const NetworkConfig& config, bool reuse_storage);
+
+  Simulator& simulator_;
   NetworkConfig config_;
+  MobilityKind built_kind_ = MobilityKind::kRandomWalk;  ///< resolved kind in use
   std::unique_ptr<LogDistancePropagation> base_propagation_;
   std::unique_ptr<ShadowedPropagation> shadowing_;  ///< optional decorator
   std::unique_ptr<WirelessChannel> channel_;

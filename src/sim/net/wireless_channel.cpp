@@ -13,7 +13,7 @@ WirelessChannel::WirelessChannel(Simulator& simulator,
                                  const PropagationModel& propagation,
                                  bool model_propagation_delay)
     : simulator_(simulator),
-      propagation_(propagation),
+      propagation_(&propagation),
       model_delay_(model_propagation_delay) {}
 
 void WirelessChannel::attach(WirelessPhy* phy, const MobilityModel* mobility) {
@@ -39,7 +39,7 @@ void WirelessChannel::transmit(const WirelessPhy* sender, const Frame& frame,
     if (entry.phy == sender) continue;
     const Vec2 rx_pos = entry.mobility->position(now);
     const double rx_dbm =
-        propagation_.rx_power_dbm(frame.tx_power_dbm, tx_pos, rx_pos);
+        propagation_->rx_power_dbm(frame.tx_power_dbm, tx_pos, rx_pos);
     if (rx_dbm < entry.phy->params().interference_floor_dbm) continue;
 
     Time delay{};

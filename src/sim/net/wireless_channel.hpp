@@ -31,6 +31,18 @@ class WirelessChannel {
   /// Both must outlive the channel.
   void attach(WirelessPhy* phy, const MobilityModel* mobility);
 
+  /// Rebinds the medium for a fresh run: new propagation model/delay flag,
+  /// delivery counter cleared.  Attached PHYs are kept.
+  void reset(const PropagationModel& propagation, bool model_propagation_delay) noexcept {
+    propagation_ = &propagation;
+    model_delay_ = model_propagation_delay;
+    signals_delivered_ = 0;
+  }
+
+  /// Unregisters every PHY (entry storage retained); used when a pooled
+  /// network rebuilds or re-wires its node graph.
+  void detach_all() noexcept { entries_.clear(); }
+
   /// Radiates `frame` from `sender` (an attached PHY) for `duration`.
   void transmit(const WirelessPhy* sender, const Frame& frame, Time duration);
 
@@ -48,7 +60,7 @@ class WirelessChannel {
   };
 
   Simulator& simulator_;
-  const PropagationModel& propagation_;
+  const PropagationModel* propagation_;  ///< never null; rebindable via reset()
   bool model_delay_;
   std::vector<Entry> entries_;
   std::uint64_t signals_delivered_ = 0;

@@ -37,6 +37,8 @@ struct PhyParams {
   Time preamble = microseconds(192);  ///< PHY preamble+header (long preamble)
   double max_tx_power_dbm = 16.02;    ///< radio maximum (Table II default)
   double min_tx_power_dbm = -60.0;    ///< radio minimum when adapting down
+
+  friend constexpr bool operator==(const PhyParams&, const PhyParams&) = default;
 };
 
 class WirelessPhy {
@@ -52,6 +54,20 @@ class WirelessPhy {
 
   /// Wires the PHY to its channel (called by the network builder).
   void set_channel(WirelessChannel* channel) noexcept { channel_ = channel; }
+
+  /// Rearms the radio for a fresh run under (possibly new) parameters:
+  /// state back to idle, signal accounting, tokens, sequence numbers and
+  /// counters cleared.  Channel wiring and callbacks are kept — pooled
+  /// simulation contexts rebind those once at graph build.
+  void reset(const PhyParams& params) noexcept {
+    params_ = params;
+    state_ = State::kIdle;
+    total_rx_mw_ = 0.0;
+    lock_.reset();
+    next_token_ = 1;
+    tx_sequence_ = 0;
+    counters_ = Counters{};
+  }
 
   void set_receive_callback(RxCallback callback) { rx_callback_ = std::move(callback); }
   void set_tx_done_callback(TxDoneCallback callback) { tx_done_ = std::move(callback); }

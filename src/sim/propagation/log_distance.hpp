@@ -17,6 +17,8 @@ class LogDistancePropagation final : public PropagationModel {
     double exponent = 3.0;            ///< path loss exponent n
     double reference_distance = 1.0;  ///< d0 in metres
     double reference_loss_db = 46.6777;  ///< L0 at d0 (2.4 GHz Friis @ 1 m)
+
+    friend constexpr bool operator==(const Config&, const Config&) = default;
   };
 
   /// ns-3 defaults (exponent 3, 46.6777 dB @ 1 m).

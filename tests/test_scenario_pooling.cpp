@@ -1,0 +1,191 @@
+/// Determinism regression suite for pooled simulation contexts: a pooled,
+/// re-armed `run_scenario` must be **bitwise identical** to fresh
+/// construction — across repeated runs, across differing scenarios
+/// interleaved on one context, and at any evaluation thread count.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "aedb/scenario.hpp"
+#include "aedb/simulation_context.hpp"
+#include "aedb/tuning_problem.hpp"
+#include "moo/core/evaluation_engine.hpp"
+#include "par/thread_pool.hpp"
+
+namespace aedbmls::aedb {
+namespace {
+
+AedbParams test_params() {
+  AedbParams params;
+  params.min_delay_s = 0.1;
+  params.max_delay_s = 0.8;
+  params.border_threshold_dbm = -88.0;
+  params.neighbors_threshold = 15.0;
+  return params;
+}
+
+void expect_bitwise_equal(const ScenarioResult& a, const ScenarioResult& b) {
+  EXPECT_EQ(a.stats.network_size, b.stats.network_size);
+  EXPECT_EQ(a.stats.coverage, b.stats.coverage);
+  EXPECT_EQ(a.stats.forwardings, b.stats.forwardings);
+  EXPECT_EQ(a.stats.energy_dbm_sum, b.stats.energy_dbm_sum);
+  EXPECT_EQ(a.stats.energy_mj, b.stats.energy_mj);
+  EXPECT_EQ(a.stats.broadcast_time_s, b.stats.broadcast_time_s);
+  EXPECT_EQ(a.stats.collisions, b.stats.collisions);
+  EXPECT_EQ(a.stats.mac_drops, b.stats.mac_drops);
+  EXPECT_EQ(a.stats.drop_decisions, b.stats.drop_decisions);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+}
+
+TEST(ScenarioPooling, PooledRunsMatchFreshConstructionBitwise) {
+  const ScenarioConfig config = make_paper_scenario(100, 20130520, 3);
+  const AedbParams params = test_params();
+  const ScenarioResult fresh = run_scenario(config, params);
+
+  ScenarioWorkspace workspace;
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    const ScenarioResult pooled = run_scenario(config, params, &workspace);
+    expect_bitwise_equal(pooled, fresh);
+  }
+  // First run built the context; the two repeats hit the pooled graph.
+  EXPECT_EQ(workspace.stats().context_misses, 1u);
+  EXPECT_EQ(workspace.stats().context_hits, 2u);
+}
+
+TEST(ScenarioPooling, RepeatedRunsWithDifferentParamsStayFaithful) {
+  const ScenarioConfig config = make_paper_scenario(100, 1, 0);
+  AedbParams a = test_params();
+  AedbParams b = test_params();
+  b.max_delay_s = 1.4;
+  b.border_threshold_dbm = -80.0;
+
+  const ScenarioResult fresh_a = run_scenario(config, a);
+  const ScenarioResult fresh_b = run_scenario(config, b);
+
+  ScenarioWorkspace workspace;
+  for (int repeat = 0; repeat < 2; ++repeat) {
+    expect_bitwise_equal(run_scenario(config, a, &workspace), fresh_a);
+    expect_bitwise_equal(run_scenario(config, b, &workspace), fresh_b);
+  }
+}
+
+TEST(ScenarioPooling, InterleavedScenariosShareOneContext) {
+  // Same topology key (seed, network, node count, area) but different
+  // network dynamics: both land on the same pooled context, which must
+  // re-arm itself per run without cross-contamination.
+  ScenarioConfig walk = make_paper_scenario(100, 7, 2);
+  ScenarioConfig still = walk;
+  still.network.static_nodes = true;
+  still.network.max_speed = 0.0;
+  const AedbParams params = test_params();
+
+  const ScenarioResult fresh_walk = run_scenario(walk, params);
+  const ScenarioResult fresh_still = run_scenario(still, params);
+
+  ScenarioWorkspace workspace;
+  for (int repeat = 0; repeat < 2; ++repeat) {
+    expect_bitwise_equal(run_scenario(walk, params, &workspace), fresh_walk);
+    expect_bitwise_equal(run_scenario(still, params, &workspace), fresh_still);
+  }
+  EXPECT_EQ(workspace.stats().context_misses, 1u);
+  EXPECT_EQ(workspace.stats().context_hits, 3u);
+}
+
+TEST(ScenarioPooling, NodeCountChangeOnOneContextRebuildsSafely) {
+  // Driving one context directly across node-count changes exercises the
+  // full-rebuild branch of Network::reset (storage cannot be reused).
+  const ScenarioConfig d100 = make_paper_scenario(100, 11, 0);
+  const ScenarioConfig d200 = make_paper_scenario(200, 11, 0);
+  const AedbParams params = test_params();
+
+  const ScenarioResult fresh_100 = run_scenario(d100, params);
+  const ScenarioResult fresh_200 = run_scenario(d200, params);
+
+  SimulationContext context;
+  expect_bitwise_equal(context.run(d100, params), fresh_100);
+  expect_bitwise_equal(context.run(d200, params), fresh_200);
+  expect_bitwise_equal(context.run(d100, params), fresh_100);
+  EXPECT_EQ(context.stats().builds, 1u);
+  EXPECT_EQ(context.stats().reconfigures, 2u);
+  EXPECT_EQ(context.stats().rebinds, 0u);
+}
+
+TEST(ScenarioPooling, SameCountReconfigureReusesNodeStorage) {
+  // Equal node_count but different dynamics: Network::reset re-arms the
+  // existing Node/NetDevice objects instead of rebuilding them.
+  ScenarioConfig fast = make_paper_scenario(100, 5, 1);
+  ScenarioConfig slow = fast;
+  slow.network.max_speed = 0.5;
+  const AedbParams params = test_params();
+
+  const ScenarioResult fresh_fast = run_scenario(fast, params);
+  const ScenarioResult fresh_slow = run_scenario(slow, params);
+
+  SimulationContext context;
+  expect_bitwise_equal(context.run(fast, params), fresh_fast);
+  expect_bitwise_equal(context.run(slow, params), fresh_slow);
+  expect_bitwise_equal(context.run(fast, params), fresh_fast);
+  expect_bitwise_equal(context.run(fast, params), fresh_fast);
+  EXPECT_EQ(context.stats().builds, 1u);
+  EXPECT_EQ(context.stats().reconfigures, 2u);
+  EXPECT_EQ(context.stats().rebinds, 1u);
+}
+
+TEST(ScenarioPooling, ContextEvictionKeepsResultsCorrect) {
+  // More distinct topologies than the context pool holds: evicted keys are
+  // rebuilt on return and must still match fresh construction.
+  const AedbParams params = test_params();
+  ScenarioWorkspace workspace;
+  const int kTopologies = 20;  // > ScenarioWorkspace's context capacity
+  for (int round = 0; round < 2; ++round) {
+    for (int net = 0; net < kTopologies; ++net) {
+      const ScenarioConfig config =
+          make_paper_scenario(100, 3, static_cast<std::uint64_t>(net));
+      expect_bitwise_equal(run_scenario(config, params, &workspace),
+                           run_scenario(config, params));
+    }
+  }
+  EXPECT_GT(workspace.stats().context_misses, static_cast<std::uint64_t>(kTopologies));
+}
+
+class ThreadCountInvariance : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ThreadCountInvariance, PooledEvaluationIsThreadCountIndependent) {
+  AedbTuningProblem::Config config;
+  config.devices_per_km2 = 100;
+  config.network_count = 2;
+  config.seed = 9;
+  const AedbTuningProblem problem(config);
+
+  // Reference: per-solution evaluate() on this thread (itself pooled via
+  // the thread-local workspace — the pre-pooling fresh path is covered by
+  // the bitwise suites above).
+  Xoshiro256 rng(123);
+  std::vector<moo::Solution> reference(6);
+  for (moo::Solution& s : reference) s.x = problem.random_point(rng);
+  std::vector<moo::Solution> batch = reference;
+  for (moo::Solution& s : reference) problem.evaluate_into(s);
+
+  const std::size_t threads = GetParam();
+  par::ThreadPool pool(threads);
+  const moo::EvaluationEngine engine(&pool);
+  engine.evaluate(problem, batch);
+
+  ASSERT_EQ(batch.size(), reference.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_EQ(batch[i].objectives.size(), reference[i].objectives.size());
+    for (std::size_t k = 0; k < batch[i].objectives.size(); ++k) {
+      EXPECT_EQ(batch[i].objectives[k], reference[i].objectives[k])
+          << "solution " << i << " objective " << k << " at " << threads
+          << " threads";
+    }
+    EXPECT_EQ(batch[i].constraint_violation, reference[i].constraint_violation);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadCountInvariance,
+                         ::testing::Values(1u, 4u, 12u));
+
+}  // namespace
+}  // namespace aedbmls::aedb
