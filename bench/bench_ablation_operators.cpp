@@ -33,9 +33,11 @@ int main(int argc, char** argv) {
   // threads workers, so driver-level sharding multiplies thread counts;
   // cap with --workers=1 for paper-scale layouts (8x12 threads per cell).
   options.workers = static_cast<std::size_t>(std::max(0L, args.get_int("workers", 0)));
-  const expt::ExperimentDriver driver(options);
+  // Honours --ranks / --shard=i/N / --merge=DIR for distributed campaigns.
   const auto samples =
-      driver.run(expt::ExperimentPlan::of(variants, scale)).samples;
+      expt::run_campaign_or_exit(args, expt::ExperimentPlan::of(variants, scale),
+                                 options)
+          .samples;
 
   for (const std::string& scenario : scale.scenarios) {
     std::printf("--- %s ---\n", scenario.c_str());

@@ -30,9 +30,12 @@ int main(int argc, char** argv) {
   expt::ExperimentDriver::Options options;
   options.use_cache = !args.has("no-cache");
   options.workers = static_cast<std::size_t>(std::max(0L, args.get_int("workers", 0)));
-  const expt::ExperimentDriver driver(options);
+  // Honours --ranks / --shard=i/N / --merge=DIR for distributed campaigns
+  // (EXPERIMENTS.md "Distributed campaigns").
   const auto samples =
-      driver.run(expt::ExperimentPlan::of(algorithms, scale)).samples;
+      expt::run_campaign_or_exit(args, expt::ExperimentPlan::of(algorithms, scale),
+                                 options)
+          .samples;
 
   struct Panel {
     const char* title;

@@ -70,9 +70,11 @@ int main(int argc, char** argv) {
   // AEDB-MLS cells spawn their own islands x threads workers; cap the
   // driver with --workers=1 for paper-scale layouts.
   options.workers = static_cast<std::size_t>(std::max(0L, args.get_int("workers", 0)));
-  const expt::ExperimentDriver driver(options);
+  // Honours --ranks / --shard=i/N / --merge=DIR for distributed campaigns.
   const auto samples =
-      driver.run(expt::ExperimentPlan::of(expt::paper_algorithms(), scale))
+      expt::run_campaign_or_exit(
+          args, expt::ExperimentPlan::of(expt::paper_algorithms(), scale),
+          options)
           .samples;
 
   const Metric metrics[] = {

@@ -3,16 +3,147 @@
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
+#include <utility>
 
 #include "expt/algorithm_registry.hpp"
+#include "expt/distributed_driver.hpp"
+#include "expt/manifest.hpp"
 #include "expt/scenario_catalog.hpp"
 
 namespace aedbmls::expt {
 
+void maybe_list_catalogs_and_exit(const CliArgs& args) {
+  const bool scenarios = args.has("list-scenarios");
+  const bool algorithms = args.has("list-algorithms");
+  if (!scenarios && !algorithms) return;
+  if (scenarios) {
+    std::printf("registered scenarios (plus dynamic d<N> Table II "
+                "densities):\n");
+    for (const ScenarioSpec& spec : ScenarioCatalog::instance().specs()) {
+      std::printf("  %-12s %s\n", spec.key.c_str(), spec.description.c_str());
+    }
+  }
+  if (algorithms) {
+    std::printf("registered algorithms:\n");
+    for (const auto& entry : AlgorithmRegistry::instance().entries()) {
+      std::printf("  %-16s %s\n", entry.name.c_str(),
+                  entry.description.c_str());
+    }
+  }
+  std::exit(0);
+}
+
 Scale resolve_scale_or_exit(const CliArgs& args) {
+  maybe_list_catalogs_and_exit(args);
   try {
     return resolve_scale(args);
   } catch (const std::invalid_argument& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    std::exit(2);
+  }
+}
+
+namespace {
+
+/// `--shard=i/N` with 0-based i in [0, N).
+std::pair<std::size_t, std::size_t> parse_shard_spec_or_exit(
+    const std::string& spec) {
+  const auto bad = [&spec]() -> std::pair<std::size_t, std::size_t> {
+    std::fprintf(stderr,
+                 "error: bad --shard spec '%s'; expected i/N with 0 <= i < N "
+                 "(e.g. --shard=0/3)\n",
+                 spec.c_str());
+    std::exit(2);
+  };
+  const std::size_t slash = spec.find('/');
+  if (slash == std::string::npos || slash == 0 || slash + 1 >= spec.size()) {
+    return bad();
+  }
+  // Digits only: stoull would accept (and wrap) a leading '-', turning a
+  // typo like 0/-3 into a 2^64-ish shard count instead of an error.
+  for (const char c : spec) {
+    if (c != '/' && (c < '0' || c > '9')) return bad();
+  }
+  std::size_t index = 0;
+  std::size_t count = 0;
+  try {
+    std::size_t pos = 0;
+    index = std::stoull(spec.substr(0, slash), &pos);
+    if (pos != slash) return bad();
+    count = std::stoull(spec.substr(slash + 1), &pos);
+    if (pos != spec.size() - slash - 1) return bad();
+  } catch (const std::exception&) {
+    return bad();
+  }
+  if (count == 0 || index >= count) return bad();
+  return {index, count};
+}
+
+}  // namespace
+
+ExperimentResult run_campaign_or_exit(const CliArgs& args,
+                                      const ExperimentPlan& plan,
+                                      ExperimentDriver::Options options) {
+  if (args.has("cache-dir")) options.cache_dir = args.get("cache-dir");
+  const bool shard_mode = args.has("shard");
+  const bool merge_mode = args.has("merge");
+  const bool ranks_mode = args.has("ranks");
+  if (static_cast<int>(shard_mode) + static_cast<int>(merge_mode) +
+          static_cast<int>(ranks_mode) > 1) {
+    std::fprintf(stderr,
+                 "error: --shard, --merge and --ranks are mutually "
+                 "exclusive\n");
+    std::exit(2);
+  }
+  try {
+    if (merge_mode) {
+      const std::string dir = args.get("merge");
+      if (dir.empty()) {
+        std::fprintf(stderr, "error: --merge needs a directory\n");
+        std::exit(2);
+      }
+      auto result = merge_campaign(plan, dir, options);
+      std::printf("[merge] %zu indicator samples reassembled from %s -> %s\n",
+                  result.samples.size(), dir.c_str(),
+                  indicator_csv_path(options.cache_dir, plan).c_str());
+      return result;
+    }
+    if (shard_mode) {
+      const auto [index, count] = parse_shard_spec_or_exit(args.get("shard"));
+      const std::string dir = args.get("shard-dir", "shards");
+      // Reject bad plans before burning a shard's worth of compute — the
+      // full/distributed drivers validate inside run(), but run_cells is
+      // below that layer.
+      validate_plan(plan);
+      options.use_cache = false;  // partial grids must never hit the cache
+      options.collect_records = false;
+      const auto cells = cells_for_shard(plan, index, count);
+      std::printf("[shard %zu/%zu] running %zu of %zu cells\n", index, count,
+                  cells.size(), plan.cell_count());
+      auto records = ExperimentDriver(options).run_cells(plan, cells);
+      std::vector<CellResult> results;
+      results.reserve(cells.size());
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        results.push_back(CellResult{cells[i].index, std::move(records[i])});
+      }
+      const std::string path = write_manifest(
+          dir, make_manifest(plan, index, count, std::move(results)));
+      std::printf("[shard %zu/%zu] wrote %s\n", index, count, path.c_str());
+      std::exit(0);
+    }
+    if (ranks_mode) {
+      const long ranks = args.get_int("ranks", 0);
+      if (ranks < 1) {
+        std::fprintf(stderr, "error: --ranks needs a positive rank count\n");
+        std::exit(2);
+      }
+      DistributedDriver::Options distributed;
+      distributed.ranks = static_cast<std::size_t>(ranks);
+      distributed.driver = std::move(options);
+      return DistributedDriver(std::move(distributed)).run(plan);
+    }
+    return ExperimentDriver(std::move(options)).run(plan);
+  } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     std::exit(2);
   }

@@ -13,14 +13,44 @@
 #include <vector>
 
 #include "common/cli.hpp"
+#include "expt/experiment.hpp"
 #include "expt/scale.hpp"
 
 namespace aedbmls::expt {
 
+/// `--list-scenarios` / `--list-algorithms`: prints the registered catalog
+/// (name + one-line description) to stdout and exits 0.  No-op when
+/// neither flag is present.  Called by `resolve_scale_or_exit`, so every
+/// campaign bench supports the flags for free.
+void maybe_list_catalogs_and_exit(const CliArgs& args);
+
 /// `resolve_scale`, but invalid input (unknown scale/scenario names,
 /// malformed numeric overrides) prints the error — which lists the valid
-/// options — to stderr and exits with status 2.
+/// options — to stderr and exits with status 2.  Also honours the
+/// `--list-scenarios` / `--list-algorithms` listing flags (exit 0).
 [[nodiscard]] Scale resolve_scale_or_exit(const CliArgs& args);
+
+/// Runs (or merges) a campaign, honouring the distribution flags shared by
+/// every campaign bench:
+///   --ranks=N      in-process distributed run: the plan's cells strided
+///                  over N communicator ranks (expt::DistributedDriver);
+///                  bitwise-identical samples at any N
+///   --shard=i/N    run only shard i of N (0-based) and write a partial-
+///                  results manifest under --shard-dir (default "shards"),
+///                  then exit 0 — a later --merge run reassembles the
+///                  campaign (see EXPERIMENTS.md "Distributed campaigns")
+///   --merge=DIR    skip execution: validate + merge the manifests under
+///                  DIR against the plan fingerprint, write the canonical
+///                  indicator CSV and reference fronts, and continue the
+///                  bench on the merged samples
+///   --cache-dir=D  where the CSV cache / merge artifacts live (default
+///                  options.cache_dir, i.e. "results")
+/// Without any of these flags this is exactly
+/// `ExperimentDriver(options).run(plan)`.  Flag conflicts, malformed
+/// `--shard` specs and campaign/merge failures print to stderr and exit 2.
+[[nodiscard]] ExperimentResult run_campaign_or_exit(
+    const CliArgs& args, const ExperimentPlan& plan,
+    ExperimentDriver::Options options);
 
 /// Algorithm names from `--algorithms=a,b` (default: `fallback`), validated
 /// against the registry; unknown names print the registered list and exit 2.

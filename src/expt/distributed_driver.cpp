@@ -1,0 +1,187 @@
+#include "expt/distributed_driver.hpp"
+
+#include <cstdio>
+#include <exception>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "par/communicator.hpp"
+
+namespace aedbmls::expt {
+namespace {
+
+/// Reassembles allgathered shard batches into the full grid-ordered record
+/// vector.  Throws when a cell is missing (a rank failed and left the
+/// world — its slot arrived empty) or appears twice (overlapping shards).
+std::vector<RunRecord> reassemble(std::vector<std::vector<CellResult>> batches,
+                                  std::size_t cell_count) {
+  std::vector<RunRecord> records(cell_count);
+  std::vector<bool> seen(cell_count, false);
+  for (auto& batch : batches) {
+    for (auto& result : batch) {
+      if (result.index >= cell_count) {
+        std::ostringstream os;
+        os << "gathered cell index " << result.index << " out of range ("
+           << cell_count << " cells in the plan)";
+        throw std::runtime_error(os.str());
+      }
+      if (seen[result.index]) {
+        std::ostringstream os;
+        os << "cell " << result.index << " gathered twice (overlapping shards)";
+        throw std::runtime_error(os.str());
+      }
+      seen[result.index] = true;
+      records[result.index] = std::move(result.record);
+    }
+  }
+  for (std::size_t i = 0; i < cell_count; ++i) {
+    if (!seen[i]) {
+      std::ostringstream os;
+      os << "cell " << i
+         << " missing after allgather (did a rank fail and leave the world?)";
+      throw std::runtime_error(os.str());
+    }
+  }
+  return records;
+}
+
+bool bitwise_equal(const std::vector<IndicatorSample>& a,
+                   const std::vector<IndicatorSample>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].algorithm != b[i].algorithm || a[i].scenario != b[i].scenario ||
+        a[i].run_seed != b[i].run_seed || a[i].front_size != b[i].front_size ||
+        a[i].hypervolume != b[i].hypervolume || a[i].igd != b[i].igd ||
+        a[i].spread != b[i].spread) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<ExperimentPlan::Cell> cells_for_shard(const ExperimentPlan& plan,
+                                                  std::size_t shard_index,
+                                                  std::size_t shard_count) {
+  if (shard_count == 0) {
+    throw std::invalid_argument("shard count must be >= 1");
+  }
+  if (shard_index >= shard_count) {
+    std::ostringstream os;
+    os << "shard index " << shard_index << " out of range for " << shard_count
+       << " shards";
+    throw std::invalid_argument(os.str());
+  }
+  auto cells = plan.cells();
+  std::vector<ExperimentPlan::Cell> out;
+  out.reserve(cells.size() / shard_count + 1);
+  for (std::size_t i = shard_index; i < cells.size(); i += shard_count) {
+    out.push_back(std::move(cells[i]));
+  }
+  return out;
+}
+
+ExperimentResult DistributedDriver::run(const ExperimentPlan& plan) const {
+  validate_plan(plan);
+  const std::size_t ranks = options_.ranks;
+  if (ranks == 0) {
+    throw std::invalid_argument("DistributedDriver needs at least one rank");
+  }
+  const ExperimentDriver::Options& base = options_.driver;
+
+  if (base.use_cache && !base.collect_records) {
+    if (auto cached = load_cached_samples(base.cache_dir, plan)) {
+      if (base.verbose) {
+        std::printf("[cache] loaded %zu indicator samples from %s\n",
+                    cached->size(),
+                    indicator_csv_path(base.cache_dir, plan).c_str());
+      }
+      return ExperimentResult{std::move(*cached), {}, true};
+    }
+  }
+
+  const std::size_t cell_count = plan.cell_count();
+  if (base.verbose) {
+    std::printf("[world] %zu cells strided over %zu communicator ranks\n",
+                cell_count, ranks);
+    std::fflush(stdout);
+  }
+
+  // Rank-local execution never touches the cache or keeps records; the
+  // gathered world result is cached/collected once below.
+  ExperimentDriver::Options rank_options = base;
+  rank_options.use_cache = false;
+  rank_options.collect_records = false;
+
+  par::Communicator<std::vector<CellResult>> world(ranks);
+  std::vector<std::exception_ptr> shard_errors(ranks);
+  std::vector<std::exception_ptr> gather_errors(ranks);
+  std::vector<std::vector<IndicatorSample>> rank_samples(ranks);
+  std::vector<RunRecord> full_records;
+
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(ranks);
+    for (std::size_t r = 0; r < ranks; ++r) {
+      threads.emplace_back([&, r] {
+        std::vector<CellResult> batch;
+        try {
+          const auto shard = cells_for_shard(plan, r, ranks);
+          auto records = ExperimentDriver(rank_options).run_cells(plan, shard);
+          batch.reserve(shard.size());
+          for (std::size_t i = 0; i < shard.size(); ++i) {
+            batch.push_back(CellResult{shard[i].index, std::move(records[i])});
+          }
+        } catch (...) {
+          // Withdraw instead of dying inside a collective: the surviving
+          // ranks' allgather then completes (with this rank's slot empty)
+          // and their reassembly reports the missing cells.
+          shard_errors[r] = std::current_exception();
+          world.leave(r);
+          return;
+        }
+        try {
+          auto gathered = world.allgather(r, std::move(batch));
+          auto records = reassemble(std::move(gathered), cell_count);
+          rank_samples[r] = reduce_to_samples(plan, records);
+          if (r == 0) full_records = std::move(records);
+        } catch (...) {
+          gather_errors[r] = std::current_exception();
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+  }
+
+  // A shard failure is the root cause; the reassembly errors it cascades
+  // into on the surviving ranks are symptoms.
+  for (const auto& error : shard_errors) {
+    if (error) std::rethrow_exception(error);
+  }
+  for (const auto& error : gather_errors) {
+    if (error) std::rethrow_exception(error);
+  }
+
+  // Every rank reduced the same gathered records, so the reductions must
+  // agree bitwise; a divergence is a determinism bug worth failing loudly.
+  for (std::size_t r = 1; r < ranks; ++r) {
+    if (!bitwise_equal(rank_samples[r], rank_samples[0])) {
+      throw std::logic_error(
+          "DistributedDriver: rank reductions diverged — the reduction is "
+          "expected to be a pure function of the gathered records");
+    }
+  }
+
+  ExperimentResult result;
+  result.samples = std::move(rank_samples[0]);
+  if (base.use_cache) {
+    store_cached_samples(base.cache_dir, plan, result.samples);
+  }
+  if (base.collect_records) result.records = std::move(full_records);
+  return result;
+}
+
+}  // namespace aedbmls::expt

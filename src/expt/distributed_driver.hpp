@@ -1,0 +1,80 @@
+#pragma once
+
+/// DistributedDriver — the experiment grid sharded across communicator
+/// ranks.
+///
+/// The paper evaluates on a cluster: message passing between distributed
+/// populations, shared memory within each (§IV's hybrid model).  This
+/// driver applies the same split one level up, at the campaign: the plan's
+/// cell list is partitioned deterministically across N ranks
+/// (`cells_for_shard`), each rank runs its shard through the regular
+/// `ExperimentDriver` machinery, and the per-cell results are exchanged
+/// with one `par::Communicator` allgather so every rank materialises the
+/// identical full record set, reference fronts and indicator samples.
+/// Output — samples and the fingerprint-keyed CSV — is bitwise-identical
+/// to the single-rank `ExperimentDriver` at any world size and any
+/// rank x driver-worker combination (regression-tested at 1/2/4 ranks in
+/// tests/test_distributed_driver.cpp).
+///
+/// Ranks here are threads driving one communicator endpoint each — the
+/// same transport the algorithm layer uses, so swapping it for MPI moves
+/// the campaign across machines without touching this logic.  For real
+/// multi-machine or CI use today, the out-of-process spelling of the same
+/// partition lives in manifest.hpp: `--shard=i/N` runs one shard and
+/// serialises its results, `--merge` validates and reassembles them (see
+/// EXPERIMENTS.md "Distributed campaigns").
+
+#include <cstddef>
+#include <vector>
+
+#include "expt/experiment.hpp"
+
+namespace aedbmls::expt {
+
+/// One completed grid cell tagged with its plan index — the unit
+/// communicator ranks gather and shard manifests store.
+struct CellResult {
+  std::size_t index = 0;
+  RunRecord record;
+};
+
+/// The cells of shard `shard_index` of `shard_count`: a strided partition
+/// (cell i belongs to shard i % shard_count), so every shard receives a
+/// representative mix of scenarios and algorithms instead of a contiguous
+/// scenario block.  Deterministic, and the union over all shards is
+/// exactly `plan.cells()`.  Throws std::invalid_argument when
+/// `shard_count == 0` or `shard_index >= shard_count`.
+[[nodiscard]] std::vector<ExperimentPlan::Cell> cells_for_shard(
+    const ExperimentPlan& plan, std::size_t shard_index,
+    std::size_t shard_count);
+
+class DistributedDriver {
+ public:
+  struct Options {
+    /// Communicator world size (>= 1).  Each rank is driven by one thread.
+    std::size_t ranks = 1;
+    /// Per-rank execution knobs.  The cache is managed at world level:
+    /// rank-local caching is disabled, and the gathered samples are loaded
+    /// from / stored to `driver.cache_dir` exactly as the single-rank
+    /// driver would (same path, same bytes).
+    ExperimentDriver::Options driver;
+  };
+
+  DistributedDriver() = default;
+  explicit DistributedDriver(Options options) : options_(std::move(options)) {}
+
+  /// Runs the plan across `ranks` communicator ranks and returns rank 0's
+  /// reduction (every rank's is verified identical — a divergence would be
+  /// a determinism bug and throws std::logic_error).  A rank that fails
+  /// mid-shard leaves the world (`Communicator::leave`) so its peers
+  /// cannot deadlock in the allgather; the original error is rethrown
+  /// after all ranks joined.
+  [[nodiscard]] ExperimentResult run(const ExperimentPlan& plan) const;
+
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+ private:
+  Options options_{};
+};
+
+}  // namespace aedbmls::expt

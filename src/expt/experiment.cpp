@@ -52,7 +52,7 @@ RunRecord run_cell(const std::string& algorithm, const std::string& scenario,
 /// Parses a cache CSV; nullopt when the file is missing or malformed (a
 /// bench killed mid-write leaves a truncated file — recompute, don't crash
 /// or trust partial data).
-std::optional<std::vector<IndicatorSample>> load_cache(
+std::optional<std::vector<IndicatorSample>> parse_cache_file(
     const std::string& path) {
   std::ifstream in(path);
   if (!in) return std::nullopt;
@@ -85,21 +85,6 @@ std::optional<std::vector<IndicatorSample>> load_cache(
     return std::nullopt;
   }
   return samples;
-}
-
-void store_cache(const std::string& dir, const std::string& path,
-                 const std::vector<IndicatorSample>& samples) {
-  std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return;
-  out << "algorithm,scenario,run_seed,front_size,hypervolume,igd,spread\n";
-  out.precision(17);
-  for (const IndicatorSample& s : samples) {
-    out << s.algorithm << ',' << s.scenario << ',' << s.run_seed << ','
-        << s.front_size << ',' << s.hypervolume << ',' << s.igd << ','
-        << s.spread << '\n';
-  }
 }
 
 }  // namespace
@@ -167,9 +152,9 @@ std::vector<RunRecord> run_repeats(const std::string& algorithm,
   return records;
 }
 
-ExperimentResult ExperimentDriver::run(const ExperimentPlan& plan) const {
+void validate_plan(const ExperimentPlan& plan) {
   // Duplicate names double-count: a repeated scenario key makes the
-  // per-scenario reduction below collect every matching record once per
+  // per-scenario reduction collect every matching record once per
   // duplicate, and a repeated algorithm runs identical-seed cells twice so
   // every statistic counts each run twice.  Reject both.
   const auto reject_duplicates = [](const std::vector<std::string>& names,
@@ -186,77 +171,26 @@ ExperimentResult ExperimentDriver::run(const ExperimentPlan& plan) const {
   };
   reject_duplicates(plan.scenarios, "scenario");
   reject_duplicates(plan.algorithms, "algorithm");
+}
 
-  std::ostringstream path_os;
-  path_os << options_.cache_dir << "/indicators_" << plan.scale.name << "_"
-          << std::hex << plan.fingerprint() << ".csv";
-  const std::string path = path_os.str();
-
-  if (options_.use_cache && !options_.collect_records) {
-    if (auto cached = load_cache(path)) {
-      // A fingerprint hit with the wrong row count means a stale or
-      // corrupt file (the fingerprint fixes the grid size) — recompute.
-      if (cached->size() == plan.cell_count()) {
-        if (options_.verbose) {
-          std::printf("[cache] loaded %zu indicator samples from %s\n",
-                      cached->size(), path.c_str());
-        }
-        return ExperimentResult{std::move(*cached), {}, true};
-      }
-      log_warn("ignoring cache ", path, ": ", cached->size(),
-               " samples, expected ", plan.cell_count());
-    }
+std::vector<moo::Solution> reference_front(
+    const std::vector<RunRecord>& records, const std::string& scenario) {
+  std::vector<std::vector<moo::Solution>> fronts;
+  for (const RunRecord& record : records) {
+    if (record.scenario == scenario) fronts.push_back(record.front);
   }
+  return moo::merge_fronts(fronts);
+}
 
-  // --- Phase 1: shard the independent grid cells across the pool. ------
-  // Each cell is seeded by (plan, scenario, run) alone, and each writes its
-  // own slot, so the records vector is a pure function of the plan no
-  // matter how many workers execute it.
-  const auto cells = plan.cells();
-  std::unique_ptr<par::ThreadPool> eval_pool;
-  if (options_.eval_threads > 0) {
-    eval_pool = std::make_unique<par::ThreadPool>(options_.eval_threads);
-  }
-  const moo::EvaluationEngine engine(eval_pool.get());
-
-  std::vector<RunRecord> records(cells.size());
-  {
-    par::ThreadPool pool(options_.workers);
-    if (options_.verbose) {
-      std::printf("[plan] %zu algorithms x %zu scenarios x %zu runs = %zu "
-                  "cells over %zu driver workers\n",
-                  plan.algorithms.size(), plan.scenarios.size(),
-                  plan.scale.runs, cells.size(), pool.thread_count());
-      std::fflush(stdout);
-    }
-    pool.parallel_for(cells.size(), [&](std::size_t i) {
-      const ExperimentPlan::Cell& cell = cells[i];
-      if (options_.verbose) {
-        std::printf("[cell %3zu/%zu] %-18s on %-12s run %zu/%zu\n", i + 1,
-                    cells.size(), cell.algorithm.c_str(),
-                    cell.scenario.c_str(), cell.run + 1, plan.scale.runs);
-        std::fflush(stdout);
-      }
-      records[i] = run_cell(cell.algorithm, cell.scenario, cell.seed,
-                            plan.scale, &engine);
-    });
-  }  // barrier: pool drained and joined
-
-  // --- Phase 2: per-scenario reference fronts + normalised indicators. --
+std::vector<IndicatorSample> reduce_to_samples(
+    const ExperimentPlan& plan, const std::vector<RunRecord>& records) {
   // The paper's protocol: reference front = non-dominated union of every
   // run of every algorithm on the scenario; all fronts normalised by its
   // bounds.  Serial and in grid order, so the output is deterministic.
-  ExperimentResult result;
-  result.samples.reserve(records.size());
+  std::vector<IndicatorSample> samples;
+  samples.reserve(records.size());
   for (const std::string& scenario : plan.scenarios) {
-    std::vector<const RunRecord*> scoped;
-    std::vector<std::vector<moo::Solution>> fronts;
-    for (const RunRecord& record : records) {
-      if (record.scenario != scenario) continue;
-      scoped.push_back(&record);
-      fronts.push_back(record.front);
-    }
-    const auto reference = moo::merge_fronts(fronts);
+    const auto reference = reference_front(records, scenario);
     if (reference.empty()) {
       log_warn("empty reference front for scenario ", scenario);
       continue;
@@ -264,23 +198,127 @@ ExperimentResult ExperimentDriver::run(const ExperimentPlan& plan) const {
     const moo::ObjectiveBounds bounds = moo::bounds_of(reference);
     const auto reference_norm = moo::normalize_front(reference, bounds);
 
-    for (const RunRecord* record : scoped) {
+    for (const RunRecord& record : records) {
+      if (record.scenario != scenario) continue;
       IndicatorSample sample;
-      sample.algorithm = record->algorithm;
+      sample.algorithm = record.algorithm;
       sample.scenario = scenario;
-      sample.run_seed = record->run_seed;
-      sample.front_size = record->front.size();
-      if (!record->front.empty()) {
-        const auto front = moo::normalize_front(record->front, bounds);
+      sample.run_seed = record.run_seed;
+      sample.front_size = record.front.size();
+      if (!record.front.empty()) {
+        const auto front = moo::normalize_front(record.front, bounds);
         sample.hypervolume = moo::hypervolume(front, moo::unit_reference(3));
         sample.igd = moo::paper_igd(front, reference_norm);
         sample.spread = moo::generalized_spread(front, reference_norm);
       }
-      result.samples.push_back(std::move(sample));
+      samples.push_back(std::move(sample));
     }
   }
+  return samples;
+}
+
+std::string indicator_csv(const std::vector<IndicatorSample>& samples) {
+  std::ostringstream out;
+  out << "algorithm,scenario,run_seed,front_size,hypervolume,igd,spread\n";
+  out.precision(17);
+  for (const IndicatorSample& s : samples) {
+    out << s.algorithm << ',' << s.scenario << ',' << s.run_seed << ','
+        << s.front_size << ',' << s.hypervolume << ',' << s.igd << ','
+        << s.spread << '\n';
+  }
+  return out.str();
+}
+
+std::string indicator_csv_path(const std::string& dir,
+                               const ExperimentPlan& plan) {
+  std::ostringstream path;
+  path << dir << "/indicators_" << plan.scale.name << "_" << std::hex
+       << plan.fingerprint() << ".csv";
+  return path.str();
+}
+
+std::optional<std::vector<IndicatorSample>> load_cached_samples(
+    const std::string& dir, const ExperimentPlan& plan) {
+  const std::string path = indicator_csv_path(dir, plan);
+  auto cached = parse_cache_file(path);
+  if (!cached) return std::nullopt;
+  // A fingerprint hit with the wrong row count means a stale or corrupt
+  // file (the fingerprint fixes the grid size) — recompute.
+  if (cached->size() != plan.cell_count()) {
+    log_warn("ignoring cache ", path, ": ", cached->size(),
+             " samples, expected ", plan.cell_count());
+    return std::nullopt;
+  }
+  return cached;
+}
+
+void store_cached_samples(const std::string& dir, const ExperimentPlan& plan,
+                          const std::vector<IndicatorSample>& samples) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  std::ofstream out(indicator_csv_path(dir, plan), std::ios::trunc);
+  if (!out) return;
+  out << indicator_csv(samples);
+}
+
+std::vector<RunRecord> ExperimentDriver::run_cells(
+    const ExperimentPlan& plan,
+    const std::vector<ExperimentPlan::Cell>& cells) const {
+  // Each cell is seeded by (plan, scenario, run) alone, and each writes its
+  // own slot, so the records vector is a pure function of the plan no
+  // matter how many workers execute it.
+  std::unique_ptr<par::ThreadPool> eval_pool;
+  if (options_.eval_threads > 0) {
+    eval_pool = std::make_unique<par::ThreadPool>(options_.eval_threads);
+  }
+  const moo::EvaluationEngine engine(eval_pool.get());
+
+  std::vector<RunRecord> records(cells.size());
+  par::ThreadPool pool(options_.workers);
+  pool.parallel_for(cells.size(), [&](std::size_t i) {
+    const ExperimentPlan::Cell& cell = cells[i];
+    if (options_.verbose) {
+      std::printf("[cell %3zu/%zu] %-18s on %-12s run %zu/%zu\n", i + 1,
+                  cells.size(), cell.algorithm.c_str(),
+                  cell.scenario.c_str(), cell.run + 1, plan.scale.runs);
+      std::fflush(stdout);
+    }
+    records[i] = run_cell(cell.algorithm, cell.scenario, cell.seed,
+                          plan.scale, &engine);
+  });
+  return records;  // pool drained and joined: a full barrier
+}
+
+ExperimentResult ExperimentDriver::run(const ExperimentPlan& plan) const {
+  validate_plan(plan);
+
+  if (options_.use_cache && !options_.collect_records) {
+    if (auto cached = load_cached_samples(options_.cache_dir, plan)) {
+      if (options_.verbose) {
+        std::printf("[cache] loaded %zu indicator samples from %s\n",
+                    cached->size(),
+                    indicator_csv_path(options_.cache_dir, plan).c_str());
+      }
+      return ExperimentResult{std::move(*cached), {}, true};
+    }
+  }
+
+  // Phase 1: shard the independent grid cells across the pool; phase 2:
+  // the deterministic reduction to reference fronts + indicators.
+  const auto cells = plan.cells();
+  if (options_.verbose) {
+    std::printf("[plan] %zu algorithms x %zu scenarios x %zu runs = %zu "
+                "cells\n",
+                plan.algorithms.size(), plan.scenarios.size(),
+                plan.scale.runs, cells.size());
+    std::fflush(stdout);
+  }
+  auto records = run_cells(plan, cells);
+
+  ExperimentResult result;
+  result.samples = reduce_to_samples(plan, records);
   if (options_.use_cache) {
-    store_cache(options_.cache_dir, path, result.samples);
+    store_cached_samples(options_.cache_dir, plan, result.samples);
   }
   if (options_.collect_records) result.records = std::move(records);
   return result;

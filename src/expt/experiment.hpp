@@ -18,6 +18,7 @@
 /// recomputation.
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -134,11 +135,61 @@ class ExperimentDriver {
   /// normalised indicator samples.
   [[nodiscard]] ExperimentResult run(const ExperimentPlan& plan) const;
 
+  /// Runs an arbitrary subset of `plan.cells()` — the phase-1 shard loop
+  /// alone, no cache, no reduction — and returns the records in the
+  /// subset's order.  This is the unit of distribution: a communicator
+  /// rank or a `--shard=i/N` process runs its `cells_for_shard` slice
+  /// through here, and because each cell is seeded by (plan, scenario,
+  /// run) alone the records are identical to the ones a full single-node
+  /// run would produce for those cells.
+  [[nodiscard]] std::vector<RunRecord> run_cells(
+      const ExperimentPlan& plan,
+      const std::vector<ExperimentPlan::Cell>& cells) const;
+
   [[nodiscard]] const Options& options() const noexcept { return options_; }
 
  private:
   Options options_{};
 };
+
+/// Rejects plans that repeat an algorithm or scenario name (duplicates
+/// double-count samples in the reduction).  Throws std::invalid_argument.
+void validate_plan(const ExperimentPlan& plan);
+
+/// The paper's per-scenario reference front: the non-dominated union of
+/// every run of every algorithm on `scenario` (records not matching the
+/// scenario are ignored).
+[[nodiscard]] std::vector<moo::Solution> reference_front(
+    const std::vector<RunRecord>& records, const std::string& scenario);
+
+/// The phase-2 reduction: per-scenario reference fronts + normalised
+/// indicator samples in plan (scenario-major) order.  A pure function of
+/// (plan, records) — this is what makes every execution strategy (worker
+/// counts, communicator ranks, shard merges) bitwise-equivalent: they only
+/// have to reproduce the records.
+[[nodiscard]] std::vector<IndicatorSample> reduce_to_samples(
+    const ExperimentPlan& plan, const std::vector<RunRecord>& records);
+
+/// The exact bytes of the indicator CSV (header + one row per sample,
+/// doubles at max precision) — shared by the cache store and the shard
+/// merge so both emit identical files.
+[[nodiscard]] std::string indicator_csv(
+    const std::vector<IndicatorSample>& samples);
+
+/// Fingerprint-keyed CSV path: `<dir>/indicators_<scale>_<fp hex>.csv`.
+[[nodiscard]] std::string indicator_csv_path(const std::string& dir,
+                                             const ExperimentPlan& plan);
+
+/// Loads the cached samples for `plan` from `dir`; nullopt when the file
+/// is missing, malformed (truncated mid-write) or has the wrong row count
+/// (stale grid).
+[[nodiscard]] std::optional<std::vector<IndicatorSample>> load_cached_samples(
+    const std::string& dir, const ExperimentPlan& plan);
+
+/// Writes `indicator_csv(samples)` to `indicator_csv_path(dir, plan)`,
+/// creating `dir` on demand.
+void store_cached_samples(const std::string& dir, const ExperimentPlan& plan,
+                          const std::vector<IndicatorSample>& samples);
 
 /// Values of one (algorithm, scenario) cell, in run order.
 [[nodiscard]] std::vector<double> extract(

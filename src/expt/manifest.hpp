@@ -1,0 +1,96 @@
+#pragma once
+
+/// Shard manifests — the out-of-process form of the distributed campaign.
+///
+/// `--shard=i/N` runs `cells_for_shard(plan, i, N)` on one machine/CI job
+/// and serialises the resulting cell records into one self-describing text
+/// file; `--merge=DIR` decodes every `*.manifest` under DIR, validates it
+/// against the plan (fingerprint, total cell count, per-cell metadata, no
+/// missing or duplicate cells) and reassembles the exact record set of the
+/// unsharded run — the reduced indicator CSV is byte-for-byte identical to
+/// the one `ExperimentDriver` writes.
+///
+/// Format v1, line-oriented ASCII.  Doubles are printed with `%.17g`, which
+/// round-trips IEEE-754 binary64 exactly, so decoded fronts are bitwise
+/// equal to the originals:
+///
+///   aedbmls-shard-manifest v1
+///   fingerprint <hex>
+///   scale <name>
+///   shard <i> <N>
+///   cells <total cells in the plan>
+///   cell <index> <seed> <evaluations> <front_size> <wall_seconds>
+///        <algorithm> <scenario>                      (one line)
+///   point <n_obj> <n_x> <cv> <f...> <x...>           (front_size lines)
+///   ...
+///   end
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "expt/distributed_driver.hpp"
+#include "expt/experiment.hpp"
+
+namespace aedbmls::expt {
+
+/// One shard's partial campaign results plus everything needed to check it
+/// belongs: the plan fingerprint, the shard coordinates and the plan size.
+struct ShardManifest {
+  std::uint64_t fingerprint = 0;
+  std::string scale_name;
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  std::size_t total_cells = 0;
+  std::vector<CellResult> results;
+};
+
+/// Manifest for shard `shard_index` of `shard_count` of `plan`, stamped
+/// with the plan's fingerprint and cell count.
+[[nodiscard]] ShardManifest make_manifest(const ExperimentPlan& plan,
+                                          std::size_t shard_index,
+                                          std::size_t shard_count,
+                                          std::vector<CellResult> results);
+
+/// Serialises the manifest (format v1 above).
+[[nodiscard]] std::string encode_manifest(const ShardManifest& manifest);
+
+/// Parses a format-v1 manifest.  Throws std::invalid_argument with a
+/// line-level description on anything malformed or truncated.
+[[nodiscard]] ShardManifest decode_manifest(const std::string& text);
+
+/// Canonical file name: `shard_<i>_of_<N>.manifest`.
+[[nodiscard]] std::string manifest_filename(std::size_t shard_index,
+                                            std::size_t shard_count);
+
+/// Writes the manifest under `dir` (created on demand) at its canonical
+/// name; returns the path.  Throws std::runtime_error when unwritable.
+std::string write_manifest(const std::string& dir,
+                           const ShardManifest& manifest);
+
+/// Decodes every `*.manifest` regular file under `dir`, in filename order.
+/// Throws std::invalid_argument when the directory holds none (or does not
+/// exist); decode errors are rethrown tagged with the offending path.
+[[nodiscard]] std::vector<ShardManifest> load_manifests(
+    const std::string& dir);
+
+/// Validates the manifests against `plan` and reassembles the full
+/// grid-ordered record vector.  Rejects with std::invalid_argument:
+/// fingerprint or cell-count mismatches (the manifest was built from a
+/// different plan), out-of-range or duplicate cell indices (overlapping
+/// shards), missing cells (a shard was not merged), and per-cell metadata
+/// contradicting the plan's cell table.
+[[nodiscard]] std::vector<RunRecord> merge_manifests(
+    const ExperimentPlan& plan, const std::vector<ShardManifest>& manifests);
+
+/// The whole `--merge` mode: load + validate + reassemble + reduce.
+/// Always writes the canonical indicator CSV to
+/// `indicator_csv_path(options.cache_dir, plan)` and the per-scenario
+/// reference fronts to `<cache_dir>/reference_<scale>_<fp>_<scenario>.csv`
+/// — the artifacts CI diffs against an unsharded run.  Records are
+/// populated iff `options.collect_records`.
+[[nodiscard]] ExperimentResult merge_campaign(
+    const ExperimentPlan& plan, const std::string& manifest_dir,
+    const ExperimentDriver::Options& options);
+
+}  // namespace aedbmls::expt

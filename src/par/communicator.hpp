@@ -67,7 +67,10 @@ class Communicator {
   void barrier() { barrier_.arrive_and_wait(); }
 
   /// Gathers one contribution per rank; every rank receives the full vector
-  /// indexed by rank.  Collective: all ranks must call with their value.
+  /// indexed by rank.  Collective: every rank still in the world must call
+  /// it; slots of departed ranks (see `leave`) hold default-constructed
+  /// values.  Ranks may arrive arbitrarily late — the internal barriers
+  /// simply hold the fast ranks until the slowest contribution lands.
   std::vector<T> allgather(std::size_t rank, T value) {
     {
       std::lock_guard lock(gather_mutex_);
@@ -82,6 +85,18 @@ class Communicator {
     }
     barrier();  // nobody overwrites the buffer before everyone copied
     return out;
+  }
+
+  /// Withdraws `rank` from every subsequent collective: the expected
+  /// barrier count drops by one, so the surviving ranks' `barrier()` /
+  /// `allgather()` calls complete without it (its allgather slot keeps a
+  /// default-constructed value).  For a rank abandoning the world on error
+  /// — without this, one failing rank deadlocks every peer blocked in a
+  /// collective.  Call it *instead of* entering further collectives, never
+  /// between the phases of one.
+  void leave(std::size_t rank) {
+    AEDB_REQUIRE(rank < size(), "rank out of range");
+    barrier_.arrive_and_drop();
   }
 
   /// Closes all inboxes; pending receives drain then return nullopt.

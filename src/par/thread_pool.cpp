@@ -47,7 +47,19 @@ void ThreadPool::parallel_for(std::size_t n,
       }
     }));
   }
-  for (auto& future : futures) future.get();
+  // Drain every worker before rethrowing: bailing out on the first
+  // exceptional future would return (and destroy `fn` at the call site)
+  // while detached workers still invoke it.  Each worker task stops at its
+  // own first exception; the first error wins.
+  std::exception_ptr first_error;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace aedbmls::par

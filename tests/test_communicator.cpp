@@ -94,6 +94,24 @@ TEST(Communicator, AllgatherCollectsContributions) {
   }
 }
 
+TEST(Communicator, LeaveDropsARankFromSubsequentCollectives) {
+  constexpr std::size_t kRanks = 4;
+  Communicator<int> world(kRanks);
+  std::atomic<int> passed{0};
+  std::thread quitter([&world] { world.leave(3); });
+  std::vector<std::thread> survivors;
+  for (std::size_t r = 0; r < kRanks - 1; ++r) {
+    survivors.emplace_back([&, r] {
+      world.barrier();  // completes without rank 3
+      passed.fetch_add(1);
+      (void)r;
+    });
+  }
+  quitter.join();
+  for (auto& rank : survivors) rank.join();
+  EXPECT_EQ(passed.load(), static_cast<int>(kRanks - 1));
+}
+
 TEST(Communicator, ShutdownUnblocksReceivers) {
   Communicator<int> world(2);
   std::thread receiver([&world] {
