@@ -20,7 +20,7 @@ void maybe_list_catalogs_and_exit(const CliArgs& args) {
     std::printf("registered scenarios (plus dynamic d<N> Table II "
                 "densities):\n");
     for (const ScenarioSpec& spec : ScenarioCatalog::instance().specs()) {
-      std::printf("  %-12s %s\n", spec.key.c_str(), spec.description.c_str());
+      std::printf("  %-14s %s\n", spec.key.c_str(), spec.description.c_str());
     }
   }
   if (algorithms) {

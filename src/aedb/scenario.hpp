@@ -26,6 +26,7 @@ struct ScenarioConfig {
   sim::Time end_at = sim::seconds(40);        ///< simulation stop
   double default_tx_dbm = 16.02;      ///< Table II default transmission power
   std::uint32_t data_bytes = 256;     ///< broadcast payload size
+  std::uint32_t beacon_bytes = 50;    ///< hello-beacon frame size
   bool random_source = true;          ///< source drawn per network; else node 0
 };
 

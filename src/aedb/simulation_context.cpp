@@ -37,6 +37,7 @@ void SimulationContext::configure_apps(const ScenarioConfig& config,
   sim::BeaconApp::Config beacon_config;
   beacon_config.start_at = config.beacon_start;
   beacon_config.period = config.beacon_period;
+  beacon_config.beacon_bytes = config.beacon_bytes;
   beacon_config.tx_power_dbm = config.default_tx_dbm;
 
   AedbApp::Config aedb_config;

@@ -1,6 +1,7 @@
 #include "common/cli.hpp"
 
 #include <cstdlib>
+#include <stdexcept>
 
 namespace aedbmls {
 
@@ -61,6 +62,20 @@ std::vector<std::string> split_csv(const std::string& csv) {
   }
   if (!token.empty()) out.push_back(std::move(token));
   return out;
+}
+
+std::optional<long> parse_positive_long(const std::string& text) {
+  long value = 0;
+  std::size_t consumed = 0;
+  try {
+    value = std::stol(text, &consumed);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (text.empty() || consumed != text.size() || value <= 0) {
+    return std::nullopt;
+  }
+  return value;
 }
 
 std::string env_or(const std::string& name, const std::string& fallback) {

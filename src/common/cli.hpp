@@ -43,6 +43,12 @@ class CliArgs {
 /// ("a,,b" -> {"a", "b"}).  The common format of list-valued options.
 [[nodiscard]] std::vector<std::string> split_csv(const std::string& csv);
 
+/// Strictly parses `text` as a positive integer: the whole string must be
+/// consumed and the value must be > 0 and fit a long.  nullopt otherwise.
+/// The shared validation for flags where a silent fallback would run a
+/// different experiment than the user asked for.
+[[nodiscard]] std::optional<long> parse_positive_long(const std::string& text);
+
 /// Environment variable as string, or `fallback` when unset.
 [[nodiscard]] std::string env_or(const std::string& name, const std::string& fallback);
 

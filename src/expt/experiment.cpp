@@ -129,10 +129,27 @@ std::uint64_t ExperimentPlan::fingerprint() const {
       for (const double field :
            {spec->area_width_m, spec->area_height_m, spec->min_speed_mps,
             spec->max_speed_mps, spec->mobility_epoch_s,
-            spec->shadowing_sigma_db}) {
+            spec->propagation.exponent, spec->propagation.reference_distance,
+            spec->propagation.reference_loss_db, spec->shadowing_sigma_db,
+            spec->shadowing_correlation_m, spec->phy.rx_sensitivity_dbm,
+            spec->phy.cs_threshold_dbm, spec->phy.sinr_threshold_db,
+            spec->phy.noise_floor_dbm, spec->phy.interference_floor_dbm,
+            spec->phy.bitrate_bps, spec->phy.max_tx_power_dbm,
+            spec->phy.min_tx_power_dbm}) {
         key = hash_combine(key, std::bit_cast<std::uint64_t>(field));
       }
-      key = hash_combine(key, static_cast<std::uint64_t>(spec->mobility));
+      for (const std::uint64_t field :
+           {static_cast<std::uint64_t>(spec->mobility),
+            static_cast<std::uint64_t>(spec->model_propagation_delay),
+            static_cast<std::uint64_t>(spec->phy.preamble.ns()),
+            static_cast<std::uint64_t>(spec->mac.difs.ns()),
+            static_cast<std::uint64_t>(spec->mac.slot.ns()),
+            static_cast<std::uint64_t>(spec->mac.cw),
+            static_cast<std::uint64_t>(spec->mac.max_retries),
+            static_cast<std::uint64_t>(spec->data_bytes),
+            static_cast<std::uint64_t>(spec->beacon_bytes)}) {
+        key = hash_combine(key, field);
+      }
     }
   }
   return key;

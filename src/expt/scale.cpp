@@ -52,19 +52,13 @@ std::size_t positive_override(const CliArgs& args, const std::string& flag,
                               std::size_t fallback) {
   if (!args.has(flag)) return fallback;
   const std::string text = args.get(flag);
-  std::size_t consumed = 0;
-  long value = 0;
-  try {
-    value = std::stol(text, &consumed);
-  } catch (const std::exception&) {
-    consumed = 0;
-  }
-  if (consumed != text.size() || value <= 0) {
+  const std::optional<long> value = parse_positive_long(text);
+  if (!value.has_value()) {
     throw std::invalid_argument("--" + flag +
                                 " must be a positive integer (got '" + text +
                                 "')");
   }
-  return static_cast<std::size_t>(value);
+  return static_cast<std::size_t>(*value);
 }
 
 /// Strict --seed parsing: a typo'd seed that silently fell back to the
@@ -97,8 +91,22 @@ Scale resolve_scale(const CliArgs& args) {
   scale.sa_samples = positive_override(args, "sa-samples", scale.sa_samples);
   scale.seed = seed_override(args, scale.seed);
 
-  // Scenario selection, most specific first: --scenarios=a,b / --scenario=a,
-  // then the --densities compatibility spelling, then AEDB_SCENARIO.
+  // Scenario selection: --scenarios=a,b / --scenario=a, or the --densities
+  // compatibility spelling, or AEDB_SCENARIO.  The flag spellings name the
+  // same sweep, so mixing them would silently drop one — reject instead of
+  // running a different workload than the user asked for.
+  if ((args.has("scenarios") || args.has("scenario")) &&
+      args.has("densities")) {
+    throw std::invalid_argument(
+        "--scenario(s) and --densities both given; they select the same "
+        "sweep (--densities=100,200 is shorthand for --scenarios=d100,d200), "
+        "pass exactly one");
+  }
+  if (args.has("scenarios") && args.has("scenario")) {
+    throw std::invalid_argument(
+        "--scenario and --scenarios both given; they are spellings of the "
+        "same sweep, pass exactly one");
+  }
   if (args.has("scenarios") || args.has("scenario")) {
     scale.scenarios = split_csv(
         args.has("scenarios") ? args.get("scenarios") : args.get("scenario"));

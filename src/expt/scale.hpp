@@ -74,7 +74,9 @@ struct Scale {
 /// Resolves the scale from AEDB_SCALE / --scale, then applies flag
 /// overrides and validates them.  Throws `std::invalid_argument` (message
 /// lists the valid options) on: unknown scale names, unknown scenario keys,
-/// empty/negative `--densities`, and non-positive --runs/--evals/--networks.
+/// empty/negative `--densities`, the sweep spellings mixed with each other
+/// (`--scenario` / `--scenarios` / `--densities` name the same sweep), and
+/// non-positive --runs/--evals/--networks.
 [[nodiscard]] Scale resolve_scale(const CliArgs& args);
 
 /// The preset scale names accepted by `resolve_scale` (smoke/small/paper).

@@ -13,11 +13,17 @@
 ///   static-grid         — no mobility: topologies are frozen at placement
 ///   highspeed           — vehicular-style random waypoint at 10..30 m/s
 ///   sparse-wide         — 50 devices/km^2 on a 1000x1000 m arena
+///   urban-canyon        — strong correlated shadowing + steep path loss,
+///                         pedestrian speeds
+///   mixed-speed         — one crowd spanning pedestrian..vehicular speeds
+///   payload-small/-large — 64 B / 1024 B broadcast payload sweep points
 ///
-/// A `ScenarioSpec` is pure data; `scenario_config` / `problem_config`
-/// derive the simulator and tuning-problem configurations from it, so a
-/// new workload is one catalog entry away (ROADMAP: "new scenario
-/// workloads ... now only need an AedbTuningProblem::Config").
+/// A `ScenarioSpec` is pure data covering the full simulator surface —
+/// arena/mobility, propagation (log-distance + correlated shadowing +
+/// delay modelling), PHY, MAC and payload sizing; `scenario_config` /
+/// `problem_config` derive the simulator and tuning-problem configurations
+/// from it, so a new workload is one catalog entry away (ROADMAP: "new
+/// scenario workloads ... now only need an AedbTuningProblem::Config").
 
 #include <optional>
 #include <string>
@@ -40,7 +46,21 @@ struct ScenarioSpec {
   double min_speed_mps = 0.0;
   double max_speed_mps = 2.0;   ///< Table II: pedestrian random walk
   double mobility_epoch_s = 20.0;
-  double shadowing_sigma_db = 0.0;
+
+  // Radio model.  Defaults mirror `sim::NetworkConfig` (the paper's ns-3
+  // style setup); every field is forwarded verbatim by `scenario_config`,
+  // so a spec fully determines the simulated physics — nothing is left to
+  // silently inherit simulator defaults.
+  sim::LogDistancePropagation::Config propagation{};  ///< path loss model
+  double shadowing_sigma_db = 0.0;        ///< log-normal shadowing; 0 = off
+  double shadowing_correlation_m = 25.0;  ///< shadow-field cell size
+  bool model_propagation_delay = true;    ///< per-link signal flight time
+  sim::PhyParams phy{};                   ///< radio thresholds and bitrate
+  sim::CsmaBroadcastMac::Params mac{};    ///< contention parameters
+
+  // Traffic sizing.
+  std::uint32_t data_bytes = 256;   ///< broadcast payload (Table II: 256 B)
+  std::uint32_t beacon_bytes = 50;  ///< hello-beacon frame size
 
   /// Node count on this arena (density x area).
   [[nodiscard]] std::size_t node_count() const;
@@ -94,8 +114,9 @@ class ScenarioCatalog {
 
 /// CLI adapter for single-scenario binaries (examples): resolves
 /// `--scenario=<key>` (default `fallback_key`), with `--density=N` as
-/// shorthand for dN.  Unknown keys print the catalog listing to stderr and
-/// exit with status 2.
+/// shorthand for dN.  Passing both flags, a non-positive/malformed
+/// `--density`, or an unknown key prints the problem (with the catalog
+/// listing where relevant) to stderr and exits with status 2.
 [[nodiscard]] ScenarioSpec scenario_from_cli_or_exit(
     const CliArgs& args, const std::string& fallback_key = "d100");
 

@@ -132,6 +132,25 @@ TEST_F(ScaleTest, MalformedDensitiesAreRejected) {
                std::invalid_argument);
 }
 
+TEST_F(ScaleTest, ConflictingWorkloadSpellingsAreRejected) {
+  // --scenario(s) and --densities name the same sweep; mixing them used to
+  // silently drop the --densities list.
+  for (const char* scenario_flag :
+       {"--scenario=d100", "--scenarios=d100,sparse-wide"}) {
+    try {
+      (void)resolve_scale(args_of({scenario_flag, "--densities=200,300"}));
+      FAIL() << "expected std::invalid_argument for " << scenario_flag;
+    } catch (const std::invalid_argument& error) {
+      const std::string message = error.what();
+      EXPECT_NE(message.find("--scenario(s)"), std::string::npos);
+      EXPECT_NE(message.find("--densities"), std::string::npos);
+    }
+  }
+  EXPECT_THROW((void)resolve_scale(args_of(
+                   {"--scenario=d100", "--scenarios=sparse-wide"})),
+               std::invalid_argument);
+}
+
 TEST_F(ScaleTest, NonPositiveNumericOverridesAreRejected) {
   EXPECT_THROW((void)resolve_scale(args_of({"--runs=0"})),
                std::invalid_argument);

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <vector>
 
 #include "aedb/tuning_problem.hpp"
 #include "expt/scale.hpp"
@@ -51,6 +52,76 @@ TEST(ScenarioCatalog, NonPaperRegimesExistWithTheRightPhysics) {
   EXPECT_EQ(sparse.area_height_m, 1000.0);
   EXPECT_LT(sparse.devices_per_km2, 100);
   EXPECT_EQ(sparse.node_count(), 50u);  // 50 dev/km^2 on 1 km^2
+
+  const ScenarioSpec canyon = catalog.resolve("urban-canyon");
+  EXPECT_GT(canyon.propagation.exponent, 3.0);  // steeper than free Table II
+  EXPECT_GT(canyon.shadowing_sigma_db, 0.0);
+  EXPECT_GT(canyon.shadowing_correlation_m, 25.0);  // building-scale fades
+  EXPECT_LE(canyon.max_speed_mps, 2.0);             // pedestrian
+  EXPECT_EQ(canyon.mobility, sim::MobilityKind::kRandomWalk);
+
+  const ScenarioSpec mixed = catalog.resolve("mixed-speed");
+  EXPECT_EQ(mixed.mobility, sim::MobilityKind::kRandomWaypoint);
+  EXPECT_LE(mixed.min_speed_mps, 1.0);   // pedestrians...
+  EXPECT_GE(mixed.max_speed_mps, 15.0);  // ...and vehicles in one crowd
+
+  const ScenarioSpec small = catalog.resolve("payload-small");
+  const ScenarioSpec large = catalog.resolve("payload-large");
+  EXPECT_LT(small.data_bytes, 256u);
+  EXPECT_GT(large.data_bytes, 256u);
+  EXPECT_LT(small.beacon_bytes, large.beacon_bytes);
+  // Sweep points differ only in payload sizing, so indicator deltas are
+  // attributable to the payload alone.
+  EXPECT_EQ(small.devices_per_km2, large.devices_per_km2);
+  EXPECT_EQ(small.mobility, large.mobility);
+  EXPECT_EQ(small.shadowing_sigma_db, large.shadowing_sigma_db);
+}
+
+TEST(ScenarioCatalog, SpecCoversTheFullSimulatorSurface) {
+  // Every radio/traffic knob a spec declares must land in the derived
+  // configuration — nothing may silently stay at a simulator default
+  // (the shadowing_correlation_m regression: shadowed specs used to
+  // inherit NetworkConfig's 25 m).
+  ScenarioSpec spec = ScenarioCatalog::instance().resolve("d100");
+  spec.propagation.exponent = 2.7;
+  spec.propagation.reference_distance = 2.0;
+  spec.propagation.reference_loss_db = 40.0;
+  spec.shadowing_sigma_db = 5.0;
+  spec.shadowing_correlation_m = 80.0;
+  spec.model_propagation_delay = false;
+  spec.phy.rx_sensitivity_dbm = -90.0;
+  spec.phy.bitrate_bps = 2e6;
+  spec.mac.cw = 16;
+  spec.mac.max_retries = 7;
+  spec.data_bytes = 512;
+  spec.beacon_bytes = 75;
+
+  const aedb::ScenarioConfig config = spec.scenario_config(3, 1);
+  EXPECT_EQ(config.network.propagation.exponent, 2.7);
+  EXPECT_EQ(config.network.propagation.reference_distance, 2.0);
+  EXPECT_EQ(config.network.propagation.reference_loss_db, 40.0);
+  EXPECT_EQ(config.network.shadowing_sigma_db, 5.0);
+  EXPECT_EQ(config.network.shadowing_correlation_m, 80.0);
+  EXPECT_FALSE(config.network.model_propagation_delay);
+  EXPECT_EQ(config.network.phy.rx_sensitivity_dbm, -90.0);
+  EXPECT_EQ(config.network.phy.bitrate_bps, 2e6);
+  EXPECT_EQ(config.network.mac.cw, 16u);
+  EXPECT_EQ(config.network.mac.max_retries, 7u);
+  EXPECT_EQ(config.data_bytes, 512u);
+  EXPECT_EQ(config.beacon_bytes, 75u);
+}
+
+TEST(ScenarioCatalog, UrbanCanyonCorrelationReachesTheNetwork) {
+  // The urban-canyon preset is the catalog's proof that the correlation
+  // knob works end to end: its 50 m must survive into NetworkConfig, not
+  // be replaced by the 25 m default.
+  const ScenarioSpec canyon =
+      ScenarioCatalog::instance().resolve("urban-canyon");
+  const aedb::ScenarioConfig config = canyon.scenario_config(1, 0);
+  EXPECT_EQ(config.network.shadowing_correlation_m,
+            canyon.shadowing_correlation_m);
+  EXPECT_NE(config.network.shadowing_correlation_m,
+            sim::NetworkConfig{}.shadowing_correlation_m);
 }
 
 TEST(ScenarioCatalog, EveryPresetHasAKeyAndDescription) {
@@ -105,6 +176,53 @@ TEST(ScenarioCatalog, ProblemConfigWiresScaleAndScenarioThrough) {
   const aedb::AedbTuningProblem problem(config);
   EXPECT_EQ(problem.config().scenario.network.node_count, 50u);
   EXPECT_EQ(problem.config().scenario.network.seed, 99u);
+}
+
+ScenarioSpec cli_spec(const std::vector<const char*>& argv) {
+  const CliArgs args(static_cast<int>(argv.size()), argv.data());
+  return scenario_from_cli_or_exit(args);
+}
+
+TEST(ScenarioCatalog, CliResolvesScenarioOrDensity) {
+  EXPECT_EQ(cli_spec({"bench"}).key, "d100");  // fallback
+  EXPECT_EQ(cli_spec({"bench", "--scenario=urban-canyon"}).key,
+            "urban-canyon");
+  EXPECT_EQ(cli_spec({"bench", "--density=150"}).key, "d150");
+}
+
+TEST(ScenarioCatalogDeathTest, CliRejectsConflictingWorkloadFlags) {
+  // --density silently overriding an explicit --scenario ran a different
+  // workload than asked for; both flags together must exit 2 naming them.
+  EXPECT_EXIT(
+      (void)cli_spec({"bench", "--scenario=urban-canyon", "--density=200"}),
+      ::testing::ExitedWithCode(2), "--scenario and --density");
+}
+
+TEST(ScenarioCatalogDeathTest, CliRejectsNonPositiveAndMalformedDensities) {
+  // These used to fall through to a baffling "unknown scenario 'd0'" /
+  // "'d-5'" catalog error; the boundary must say what is actually wrong.
+  for (const char* flag : {"--density=0", "--density=-5", "--density=abc",
+                           "--density=12x", "--density=", "--density",
+                           "--density=99999999999999999999"}) {
+    EXPECT_EXIT((void)cli_spec({"bench", flag}),
+                ::testing::ExitedWithCode(2),
+                "--density must be a positive integer")
+        << flag;
+  }
+}
+
+TEST(ScenarioCatalogDeathTest, CliRejectsCampaignSweepSpellings) {
+  // --scenarios/--densities (the campaign benches' sweeps) used to be
+  // silently ignored here, running the fallback workload instead.
+  EXPECT_EXIT((void)cli_spec({"bench", "--scenarios=urban-canyon"}),
+              ::testing::ExitedWithCode(2), "single workload");
+  EXPECT_EXIT((void)cli_spec({"bench", "--densities=100,200"}),
+              ::testing::ExitedWithCode(2), "single workload");
+}
+
+TEST(ScenarioCatalogDeathTest, CliRejectsUnknownScenarioWithTheCatalog) {
+  EXPECT_EXIT((void)cli_spec({"bench", "--scenario=underwater"}),
+              ::testing::ExitedWithCode(2), "unknown scenario 'underwater'");
 }
 
 TEST(ScenarioCatalog, ScenarioConfigIsDeterministic) {

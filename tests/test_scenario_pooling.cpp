@@ -7,9 +7,14 @@
 
 #include <vector>
 
+#include <string>
+#include <tuple>
+
 #include "aedb/scenario.hpp"
 #include "aedb/simulation_context.hpp"
 #include "aedb/tuning_problem.hpp"
+#include "expt/scale.hpp"
+#include "expt/scenario_catalog.hpp"
 #include "moo/core/evaluation_engine.hpp"
 #include "par/thread_pool.hpp"
 
@@ -149,25 +154,63 @@ TEST(ScenarioPooling, ContextEvictionKeepsResultsCorrect) {
   EXPECT_GT(workspace.stats().context_misses, static_cast<std::uint64_t>(kTopologies));
 }
 
-class ThreadCountInvariance : public ::testing::TestWithParam<std::size_t> {};
+/// The non-default-radio catalog regimes: every knob they exercise
+/// (correlated shadowing, steep path loss, waypoint speed spread, payload
+/// sizing) is a distinct way for a pooled context to go stale.
+const char* const kFullSurfaceRegimes[] = {"urban-canyon", "mixed-speed",
+                                           "payload-small", "payload-large"};
+
+std::string sanitized(std::string name) {
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+class RegimePooling : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RegimePooling, FreshEqualsPooledBitwise) {
+  const expt::ScenarioSpec spec =
+      expt::ScenarioCatalog::instance().resolve(GetParam());
+  const ScenarioConfig config = spec.scenario_config(31, 1);
+  const AedbParams params = test_params();
+  const ScenarioResult fresh = run_scenario(config, params);
+
+  ScenarioWorkspace workspace;
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    expect_bitwise_equal(run_scenario(config, params, &workspace), fresh);
+  }
+  EXPECT_EQ(workspace.stats().context_misses, 1u);
+  EXPECT_EQ(workspace.stats().context_hits, 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(FullSurfaceRegimes, RegimePooling,
+                         ::testing::ValuesIn(kFullSurfaceRegimes),
+                         [](const auto& info) {
+                           return sanitized(info.param);
+                         });
+
+class ThreadCountInvariance
+    : public ::testing::TestWithParam<std::tuple<std::size_t, const char*>> {};
 
 TEST_P(ThreadCountInvariance, PooledEvaluationIsThreadCountIndependent) {
-  AedbTuningProblem::Config config;
-  config.devices_per_km2 = 100;
-  config.network_count = 2;
-  config.seed = 9;
-  const AedbTuningProblem problem(config);
+  expt::Scale scale;
+  scale.networks = 2;
+  scale.seed = 9;
+  const expt::ScenarioSpec spec =
+      expt::ScenarioCatalog::instance().resolve(std::get<1>(GetParam()));
+  const AedbTuningProblem problem(spec.problem_config(scale));
 
   // Reference: per-solution evaluate() on this thread (itself pooled via
   // the thread-local workspace — the pre-pooling fresh path is covered by
   // the bitwise suites above).
   Xoshiro256 rng(123);
-  std::vector<moo::Solution> reference(6);
+  std::vector<moo::Solution> reference(4);
   for (moo::Solution& s : reference) s.x = problem.random_point(rng);
   std::vector<moo::Solution> batch = reference;
   for (moo::Solution& s : reference) problem.evaluate_into(s);
 
-  const std::size_t threads = GetParam();
+  const std::size_t threads = std::get<0>(GetParam());
   par::ThreadPool pool(threads);
   const moo::EvaluationEngine engine(&pool);
   engine.evaluate(problem, batch);
@@ -184,8 +227,15 @@ TEST_P(ThreadCountInvariance, PooledEvaluationIsThreadCountIndependent) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Threads, ThreadCountInvariance,
-                         ::testing::Values(1u, 4u, 12u));
+INSTANTIATE_TEST_SUITE_P(
+    Threads, ThreadCountInvariance,
+    ::testing::Combine(::testing::Values(1u, 4u, 12u),
+                       ::testing::Values("d100", "urban-canyon", "mixed-speed",
+                                         "payload-small", "payload-large")),
+    [](const auto& info) {
+      return sanitized(std::string(std::get<1>(info.param)) + "_" +
+                       std::to_string(std::get<0>(info.param)) + "threads");
+    });
 
 }  // namespace
 }  // namespace aedbmls::aedb

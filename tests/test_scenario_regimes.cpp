@@ -80,6 +80,24 @@ TEST(ScenarioRegimes, LargerPayloadTakesLongerOnAir) {
   }
 }
 
+TEST(ScenarioRegimes, BeaconSizingShiftsContentionTiming) {
+  // Beacons share the medium with the dissemination wave: fatter beacons
+  // occupy more airtime, which must shift carrier-sense outcomes and hence
+  // some observable metric.  Guards the beacon_bytes plumbing end to end.
+  ScenarioConfig lean = make_paper_scenario(200, 29, 0);
+  lean.beacon_bytes = 25;
+  ScenarioConfig chatty = lean;
+  chatty.beacon_bytes = 800;
+  const auto small_beacons = run_scenario(lean, mid_params());
+  const auto large_beacons = run_scenario(chatty, mid_params());
+  EXPECT_TRUE(small_beacons.stats.coverage != large_beacons.stats.coverage ||
+              small_beacons.stats.energy_dbm_sum !=
+                  large_beacons.stats.energy_dbm_sum ||
+              small_beacons.stats.broadcast_time_s !=
+                  large_beacons.stats.broadcast_time_s ||
+              small_beacons.events_executed != large_beacons.events_executed);
+}
+
 TEST(ScenarioRegimes, DormantBeaconsForceDefaultPowerForwarding) {
   // With beacons starting after the broadcast, neighbor tables are empty:
   // every forwarder falls back to the default power, so the mean per-
