@@ -2,8 +2,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <stdexcept>
 #include <utility>
+
+#include "common/telemetry.hpp"
 
 #include "expt/algorithm_registry.hpp"
 #include "expt/distributed_driver.hpp"
@@ -79,6 +82,17 @@ std::pair<std::size_t, std::size_t> parse_shard_spec_or_exit(
   return {index, count};
 }
 
+/// `--progress[=N]`: a ProgressMeter over `total_cells` printing every N
+/// cells (default 1).  nullptr when the flag is absent.
+std::unique_ptr<telemetry::ProgressMeter> make_progress(
+    const CliArgs& args, std::size_t total_cells) {
+  if (!args.has("progress")) return nullptr;
+  long every = args.get_int("progress", 1);
+  if (every < 1) every = 1;
+  return std::make_unique<telemetry::ProgressMeter>(
+      total_cells, static_cast<std::size_t>(every));
+}
+
 }  // namespace
 
 ExperimentResult run_campaign_or_exit(const CliArgs& args,
@@ -118,6 +132,9 @@ ExperimentResult run_campaign_or_exit(const CliArgs& args,
       options.use_cache = false;  // partial grids must never hit the cache
       options.collect_records = false;
       const auto cells = cells_for_shard(plan, index, count);
+      // Shard progress counts the shard's own cells, not the whole grid.
+      const auto progress = make_progress(args, cells.size());
+      options.progress = progress.get();
       std::printf("[shard %zu/%zu] running %zu of %zu cells\n", index, count,
                   cells.size(), plan.cell_count());
       auto records = ExperimentDriver(options).run_cells(plan, cells);
@@ -137,11 +154,17 @@ ExperimentResult run_campaign_or_exit(const CliArgs& args,
         std::fprintf(stderr, "error: --ranks needs a positive rank count\n");
         std::exit(2);
       }
+      // One meter shared by every rank (it is thread-safe), so the feed
+      // covers the whole world, not one rank's stride.
+      const auto progress = make_progress(args, plan.cell_count());
+      options.progress = progress.get();
       DistributedDriver::Options distributed;
       distributed.ranks = static_cast<std::size_t>(ranks);
       distributed.driver = std::move(options);
       return DistributedDriver(std::move(distributed)).run(plan);
     }
+    const auto progress = make_progress(args, plan.cell_count());
+    options.progress = progress.get();
     return ExperimentDriver(std::move(options)).run(plan);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());

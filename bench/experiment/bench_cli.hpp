@@ -45,6 +45,12 @@ void maybe_list_catalogs_and_exit(const CliArgs& args);
 ///                  bench on the merged samples
 ///   --cache-dir=D  where the CSV cache / merge artifacts live (default
 ///                  options.cache_dir, i.e. "results")
+///   --progress[=N] live `[progress]` lines on stderr every N completed
+///                  cells (default 1): cells-done/total, eval throughput,
+///                  per-scenario mean cell time.  Works in plain, --ranks
+///                  and --shard modes (shard feeds count the shard's own
+///                  cells); purely observational — result bytes are
+///                  identical with or without it
 /// Without any of these flags this is exactly
 /// `ExperimentDriver(options).run(plan)`.  Flag conflicts, malformed
 /// `--shard` specs and campaign/merge failures print to stderr and exit 2.

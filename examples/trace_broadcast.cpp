@@ -80,12 +80,11 @@ int main(int argc, char** argv) {
   TextTable table;
   table.set_header({"node", "pos@t0 (x,y)", "first rx [s]", "decision",
                     "fwd tx [dBm]", "fwd at [s]"});
-  const auto& receptions = collector.first_receptions();
   for (std::size_t i = 0; i < network.size(); ++i) {
     const sim::Vec2 pos = network.node(i).position(broadcast_at);
+    const auto first_rx = collector.first_rx_time(static_cast<NodeId>(i));
     std::string rx = "-";
-    const auto it = receptions.find(static_cast<NodeId>(i));
-    if (it != receptions.end()) rx = format_double(it->second.seconds(), 4);
+    if (first_rx.has_value()) rx = format_double(first_rx->seconds(), 4);
 
     std::string decision;
     const auto& counters = apps[i]->counters();
@@ -95,7 +94,7 @@ int main(int argc, char** argv) {
                                                   : "forward (sparse)";
     } else if (counters.drops_on_arrival > 0) decision = "drop: inside border";
     else if (counters.drops_after_wait > 0) decision = "drop: heard stronger";
-    else if (it == receptions.end()) decision = "never reached";
+    else if (!first_rx.has_value()) decision = "never reached";
     else decision = "waiting cut off";
 
     table.add_row({std::to_string(i),

@@ -15,12 +15,26 @@ AedbApp::AedbApp(sim::Simulator& simulator, sim::Node& node, Config config,
       collector_(collector),
       rng_(stream.engine()) {}
 
+AedbApp::MessageState& AedbApp::message_state(MessageId message) {
+  for (std::size_t i = 0; i < messages_used_; ++i) {
+    if (messages_[i].id == message) return messages_[i];
+  }
+  if (messages_used_ == messages_.size()) messages_.emplace_back();
+  MessageState& state = messages_[messages_used_++];
+  state.id = message;
+  state.strongest_rx_dbm = -1e30;
+  state.waiting = false;
+  state.done = false;
+  state.heard_from.clear();
+  return state;
+}
+
 void AedbApp::originate(MessageId message) {
   // The scenario must have opened the ledger (it knows the network size).
   AEDB_REQUIRE(collector_.message() == message &&
                    collector_.origin() == node().id(),
                "collector not begun for this message/source");
-  MessageState& state = messages_[message];
+  MessageState& state = message_state(message);
   state.done = true;  // the source never re-forwards its own message
 
   sim::Frame frame;
@@ -33,7 +47,7 @@ void AedbApp::originate(MessageId message) {
 
 void AedbApp::on_receive(const sim::Frame& frame, double rx_dbm) {
   if (frame.kind != sim::FrameKind::kData) return;
-  MessageState& state = messages_[frame.message_id];
+  MessageState& state = message_state(frame.message_id);
   if (state.done && state.heard_from.empty() && node().id() == frame.origin) {
     return;  // echo of our own broadcast
   }
@@ -102,7 +116,7 @@ double AedbApp::compute_forward_power(const std::vector<NodeId>& heard_from) {
 }
 
 void AedbApp::forward_decision(MessageId message) {
-  MessageState& state = messages_[message];
+  MessageState& state = message_state(message);
   AEDB_REQUIRE(state.waiting && !state.done, "forward decision without wait");
   state.waiting = false;
   state.done = true;

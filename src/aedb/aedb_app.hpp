@@ -27,7 +27,6 @@
 /// implementation tracks `strongest_rx_dbm = max over copies` and drops when
 /// it exceeds the border.  (documented in DESIGN.md)
 
-#include <unordered_map>
 #include <vector>
 
 #include "aedb/aedb_params.hpp"
@@ -62,11 +61,12 @@ class AedbApp final : public sim::Application {
   /// Re-arms the protocol for a fresh run (new candidate parameters, fresh
   /// RNG stream, message ledger and counters cleared), bitwise-equivalent
   /// to constructing a new app.  The beacon-app and collector references
-  /// are retained — pooled contexts keep both alive across runs.
+  /// are retained — pooled contexts keep both alive across runs — and so
+  /// is the message-slot storage (capacity only; no state survives).
   void reset(Config config, CounterRng stream) {
     config_ = config;
     rng_ = stream.engine();
-    messages_.clear();
+    messages_used_ = 0;
     counters_ = Counters{};
   }
 
@@ -90,11 +90,19 @@ class AedbApp final : public sim::Application {
 
  private:
   struct MessageState {
+    MessageId id = 0;                 ///< slot key (valid below messages_used_)
     double strongest_rx_dbm = -1e30;  ///< paper's `pmin`, see header note
     bool waiting = false;
     bool done = false;
     std::vector<NodeId> heard_from;   ///< senders of this message we decoded
   };
+
+  /// The state slot for `message`, created on first touch.  A scenario run
+  /// carries one broadcast (rarely more in unit tests), so slots live in a
+  /// small flat pool scanned linearly; reset() recycles the slots — and the
+  /// `heard_from` capacity inside them — so pooled steady-state runs never
+  /// allocate here.
+  [[nodiscard]] MessageState& message_state(MessageId message);
 
   void forward_decision(MessageId message);
 
@@ -102,7 +110,8 @@ class AedbApp final : public sim::Application {
   sim::BeaconApp& beacons_;
   BroadcastStatsCollector& collector_;
   Xoshiro256 rng_;
-  std::unordered_map<MessageId, MessageState> messages_;
+  std::vector<MessageState> messages_;  ///< slot pool; first messages_used_ live
+  std::size_t messages_used_ = 0;
   Counters counters_;
 };
 

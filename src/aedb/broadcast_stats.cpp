@@ -15,11 +15,17 @@ void BroadcastStatsCollector::begin(MessageId message, NodeId origin,
   origin_ = origin;
   origination_ = origination;
   network_size_ = network_size;
+  reserve(network_size);
+  std::fill_n(received_.begin(), network_size, static_cast<unsigned char>(0));
 }
 
 void BroadcastStatsCollector::record_first_rx(NodeId node, sim::Time when) {
   if (node == origin_) return;  // the source trivially has the message
-  first_rx_.emplace(node, when);
+  AEDB_REQUIRE(node < network_size_, "reception from outside the network");
+  if (received_[node] != 0) return;  // only the first reception counts
+  received_[node] = 1;
+  first_rx_time_[node] = when;
+  ++coverage_;
 }
 
 void BroadcastStatsCollector::record_data_tx(NodeId node, double tx_power_dbm,
@@ -37,11 +43,23 @@ void BroadcastStatsCollector::record_drop_decision(NodeId node) {
 
 void BroadcastStatsCollector::record_mac_drop(NodeId) { ++mac_drops_; }
 
+std::vector<std::pair<NodeId, sim::Time>>
+BroadcastStatsCollector::first_receptions() const {
+  std::vector<std::pair<NodeId, sim::Time>> out;
+  out.reserve(coverage_);
+  for (std::size_t node = 0; node < network_size_; ++node) {
+    if (received_[node] != 0) {
+      out.emplace_back(static_cast<NodeId>(node), first_rx_time_[node]);
+    }
+  }
+  return out;
+}
+
 BroadcastStats BroadcastStatsCollector::finalize(
     std::uint64_t total_collisions) const {
   BroadcastStats stats;
   stats.network_size = network_size_;
-  stats.coverage = first_rx_.size();
+  stats.coverage = coverage_;
   stats.forwardings = forwardings_;
   stats.energy_dbm_sum = energy_dbm_sum_;
   stats.energy_mj = energy_mj_;
@@ -50,9 +68,11 @@ BroadcastStats BroadcastStatsCollector::finalize(
   stats.collisions = total_collisions;
 
   sim::Time last{};
-  for (const auto& [node, when] : first_rx_) last = std::max(last, when);
+  for (std::size_t node = 0; node < network_size_; ++node) {
+    if (received_[node] != 0) last = std::max(last, first_rx_time_[node]);
+  }
   stats.broadcast_time_s =
-      first_rx_.empty() ? 0.0 : (last - origination_).seconds();
+      coverage_ == 0 ? 0.0 : (last - origination_).seconds();
   return stats;
 }
 

@@ -15,7 +15,8 @@
 ///                     nobody receives: no dissemination happened).
 
 #include <cstdint>
-#include <unordered_map>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -46,23 +47,37 @@ struct BroadcastStats {
 
 /// Per-simulation sink the AEDB applications report into.  Single-threaded
 /// (one collector per Simulator instance).
+///
+/// The first-reception ledger is a flat NodeId-indexed array (node ids are
+/// dense, starting at zero), sized by `begin()` and retained across runs:
+/// a pooled context's per-run reset is an O(n) fill with no heap traffic,
+/// and summary iteration walks the array in NodeId order — deterministic
+/// by construction.
 class BroadcastStatsCollector {
  public:
   /// Returns the collector to its just-constructed state so a pooled
   /// context can reuse it for the next run (`begin` requires a fresh
-  /// ledger).  The first-reception map is rebuilt rather than cleared so
-  /// its state is bitwise-fresh.
-  void reset() {
+  /// ledger).  Ledger storage is retained; `begin()` re-fills it.
+  void reset() noexcept {
     message_ = 0;
     origin_ = kInvalidNode;
     origination_ = sim::Time{};
     network_size_ = 0;
-    first_rx_ = decltype(first_rx_){};
+    coverage_ = 0;
     forwardings_ = 0;
     energy_dbm_sum_ = 0.0;
     energy_mj_ = 0.0;
     drop_decisions_ = 0;
     mac_drops_ = 0;
+  }
+
+  /// Preallocates the first-reception ledger for `network_size` nodes so
+  /// `begin()` never has to grow it on the hot path.
+  void reserve(std::size_t network_size) {
+    if (network_size > received_.size()) {
+      received_.resize(network_size);
+      first_rx_time_.resize(network_size);
+    }
   }
 
   /// Declares the broadcast about to happen.
@@ -83,17 +98,21 @@ class BroadcastStatsCollector {
 
   /// True when `node` already counted a first reception.
   [[nodiscard]] bool has_received(NodeId node) const {
-    return first_rx_.count(node) > 0;
+    return node < network_size_ && received_[node] != 0;
+  }
+
+  /// First-reception time of `node`; nullopt when it never received.
+  [[nodiscard]] std::optional<sim::Time> first_rx_time(NodeId node) const {
+    if (!has_received(node)) return std::nullopt;
+    return first_rx_time_[node];
   }
 
   [[nodiscard]] NodeId origin() const noexcept { return origin_; }
   [[nodiscard]] MessageId message() const noexcept { return message_; }
 
-  /// Per-node first-reception times (for traces and examples).
-  [[nodiscard]] const std::unordered_map<NodeId, sim::Time>& first_receptions()
-      const noexcept {
-    return first_rx_;
-  }
+  /// Per-node first-reception times in NodeId order (traces and examples).
+  [[nodiscard]] std::vector<std::pair<NodeId, sim::Time>> first_receptions()
+      const;
 
   /// Closes the ledger; `total_collisions` comes from summing PHY counters.
   [[nodiscard]] BroadcastStats finalize(std::uint64_t total_collisions) const;
@@ -103,7 +122,9 @@ class BroadcastStatsCollector {
   NodeId origin_ = kInvalidNode;
   sim::Time origination_{};
   std::size_t network_size_ = 0;
-  std::unordered_map<NodeId, sim::Time> first_rx_;
+  std::vector<unsigned char> received_;    ///< NodeId-indexed ledger flags
+  std::vector<sim::Time> first_rx_time_;   ///< valid where received_[i] != 0
+  std::size_t coverage_ = 0;               ///< receivers counted so far
   std::size_t forwardings_ = 0;
   double energy_dbm_sum_ = 0.0;
   double energy_mj_ = 0.0;

@@ -22,6 +22,7 @@ struct ScenarioConfig {
   sim::NetworkConfig network{};       ///< topology, radio, mobility
   sim::Time beacon_start = sim::seconds(27);  ///< >= 2 beacon rounds of warm-up
   sim::Time beacon_period = sim::seconds(1);  ///< Table II: beacons every 1 s
+  sim::Time beacon_jitter = sim::milliseconds(10);  ///< per-beacon random jitter
   sim::Time broadcast_at = sim::seconds(30);  ///< dissemination start
   sim::Time end_at = sim::seconds(40);        ///< simulation stop
   double default_tx_dbm = 16.02;      ///< Table II default transmission power

@@ -37,6 +37,7 @@ void SimulationContext::configure_apps(const ScenarioConfig& config,
   sim::BeaconApp::Config beacon_config;
   beacon_config.start_at = config.beacon_start;
   beacon_config.period = config.beacon_period;
+  beacon_config.jitter = config.beacon_jitter;
   beacon_config.beacon_bytes = config.beacon_bytes;
   beacon_config.tx_power_dbm = config.default_tx_dbm;
 
@@ -54,12 +55,17 @@ void SimulationContext::configure_apps(const ScenarioConfig& config,
     apps_.clear();
     beacons_.reserve(n);
     apps_.reserve(n);
+    collector_.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
       sim::Node& node = network_->node(i);
       auto& beacons =
           node.add_app<sim::BeaconApp>(beacon_config, app_stream.child(2 * i));
       auto& app = node.add_app<AedbApp>(aedb_config, beacons, collector_,
                                         app_stream.child(2 * i + 1));
+      // Size the per-node statistics once per topology: the flat
+      // NodeId-indexed neighbor table then never grows on the hot path,
+      // and every later reset is an allocation-free fill.
+      beacons.neighbor_table().reserve(n);
       beacons_.push_back(&beacons);
       apps_.push_back(&app);
 

@@ -39,16 +39,21 @@ std::pair<double, double> AedbTuningProblem::bounds(std::size_t dim) const {
 AedbTuningProblem::Detail AedbTuningProblem::evaluate_detail(
     const AedbParams& params, ScenarioWorkspace* workspace) const {
   Detail detail;
+  std::uint64_t events = 0;
   for (std::size_t net = 0; net < config_.network_count; ++net) {
     ScenarioConfig scenario = config_.scenario;
     scenario.network.network_index = net;
     const ScenarioResult run = run_scenario(scenario, params, workspace);
+    events += run.events_executed;
     detail.mean_energy_dbm += run.stats.energy_dbm_sum;
     detail.mean_coverage += static_cast<double>(run.stats.coverage);
     detail.mean_forwardings += static_cast<double>(run.stats.forwardings);
     detail.mean_broadcast_time_s += run.stats.broadcast_time_s;
     detail.mean_energy_mj += run.stats.energy_mj;
   }
+  scenario_run_count_.fetch_add(config_.network_count,
+                                std::memory_order_relaxed);
+  events_executed_.fetch_add(events, std::memory_order_relaxed);
   const double n = static_cast<double>(config_.network_count);
   detail.mean_energy_dbm /= n;
   detail.mean_coverage /= n;

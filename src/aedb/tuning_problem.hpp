@@ -73,6 +73,18 @@ class AedbTuningProblem final : public moo::Problem {
     return evaluation_count_.load(std::memory_order_relaxed);
   }
 
+  /// Scenario simulations run so far (`network_count` per evaluation;
+  /// thread-safe).  The experiment layer snapshots this into its telemetry.
+  [[nodiscard]] std::uint64_t scenario_runs() const noexcept {
+    return scenario_run_count_.load(std::memory_order_relaxed);
+  }
+
+  /// Simulator events executed across all scenario runs so far
+  /// (thread-safe) — the raw work metric behind eval-throughput telemetry.
+  [[nodiscard]] std::uint64_t events_executed() const noexcept {
+    return events_executed_.load(std::memory_order_relaxed);
+  }
+
   [[nodiscard]] const Config& config() const noexcept { return config_; }
 
  private:
@@ -83,6 +95,8 @@ class AedbTuningProblem final : public moo::Problem {
 
   Config config_;
   mutable std::atomic<std::uint64_t> evaluation_count_{0};
+  mutable std::atomic<std::uint64_t> scenario_run_count_{0};
+  mutable std::atomic<std::uint64_t> events_executed_{0};
 };
 
 }  // namespace aedbmls::aedb

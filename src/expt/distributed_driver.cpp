@@ -99,7 +99,7 @@ ExperimentResult DistributedDriver::run(const ExperimentPlan& plan) const {
                     cached->size(),
                     indicator_csv_path(base.cache_dir, plan).c_str());
       }
-      return ExperimentResult{std::move(*cached), {}, true};
+      return ExperimentResult{std::move(*cached), {}, true, {}};
     }
   }
 
@@ -120,6 +120,7 @@ ExperimentResult DistributedDriver::run(const ExperimentPlan& plan) const {
   std::vector<std::exception_ptr> shard_errors(ranks);
   std::vector<std::exception_ptr> gather_errors(ranks);
   std::vector<std::vector<IndicatorSample>> rank_samples(ranks);
+  std::vector<telemetry::Snapshot> rank_telemetry(ranks);
   std::vector<RunRecord> full_records;
 
   {
@@ -147,6 +148,7 @@ ExperimentResult DistributedDriver::run(const ExperimentPlan& plan) const {
           auto gathered = world.allgather(r, std::move(batch));
           auto records = reassemble(std::move(gathered), cell_count);
           rank_samples[r] = reduce_to_samples(plan, records);
+          rank_telemetry[r] = merge_telemetry(records);
           if (r == 0) full_records = std::move(records);
         } catch (...) {
           gather_errors[r] = std::current_exception();
@@ -173,10 +175,16 @@ ExperimentResult DistributedDriver::run(const ExperimentPlan& plan) const {
           "DistributedDriver: rank reductions diverged — the reduction is "
           "expected to be a pure function of the gathered records");
     }
+    if (rank_telemetry[r] != rank_telemetry[0]) {
+      throw std::logic_error(
+          "DistributedDriver: rank telemetry folds diverged — merging the "
+          "gathered records in grid order must be rank-independent");
+    }
   }
 
   ExperimentResult result;
   result.samples = std::move(rank_samples[0]);
+  result.telemetry = std::move(rank_telemetry[0]);
   if (base.use_cache) {
     store_cached_samples(base.cache_dir, plan, result.samples);
   }

@@ -46,6 +46,21 @@ RunRecord run_cell(const std::string& algorithm, const std::string& scenario,
   record.front = result.front;
   record.evaluations = result.evaluations;
   record.wall_seconds = result.wall_seconds;
+
+  // Instrument the cell.  The registry lives for exactly one cell, so its
+  // snapshot is the per-cell unit the campaign-wide fold (and the shard
+  // manifests) aggregate.
+  telemetry::Registry registry;
+  registry.counter("cells").add(1);
+  registry.counter("evaluations").add(result.evaluations);
+  registry.counter("sim.runs").add(problem.scenario_runs());
+  registry.counter("sim.events").add(problem.events_executed());
+  registry.counter("front.points").add(record.front.size());
+  registry.gauge("cell.wall_s").observe(result.wall_seconds);
+  registry.gauge("scenario." + scenario + ".wall_s")
+      .observe(result.wall_seconds);
+  registry.histogram("front.size").observe(record.front.size());
+  record.telemetry = registry.snapshot();
   return record;
 }
 
@@ -135,7 +150,8 @@ std::uint64_t ExperimentPlan::fingerprint() const {
             spec->phy.cs_threshold_dbm, spec->phy.sinr_threshold_db,
             spec->phy.noise_floor_dbm, spec->phy.interference_floor_dbm,
             spec->phy.bitrate_bps, spec->phy.max_tx_power_dbm,
-            spec->phy.min_tx_power_dbm}) {
+            spec->phy.min_tx_power_dbm, spec->beacon_period_s,
+            spec->beacon_jitter_s}) {
         key = hash_combine(key, std::bit_cast<std::uint64_t>(field));
       }
       for (const std::uint64_t field :
@@ -302,8 +318,17 @@ std::vector<RunRecord> ExperimentDriver::run_cells(
     }
     records[i] = run_cell(cell.algorithm, cell.scenario, cell.seed,
                           plan.scale, &engine);
+    if (options_.progress != nullptr) {
+      options_.progress->cell_done(records[i].telemetry);
+    }
   });
   return records;  // pool drained and joined: a full barrier
+}
+
+telemetry::Snapshot merge_telemetry(const std::vector<RunRecord>& records) {
+  telemetry::Snapshot merged;
+  for (const RunRecord& record : records) merged.merge(record.telemetry);
+  return merged;
 }
 
 ExperimentResult ExperimentDriver::run(const ExperimentPlan& plan) const {
@@ -316,7 +341,7 @@ ExperimentResult ExperimentDriver::run(const ExperimentPlan& plan) const {
                     cached->size(),
                     indicator_csv_path(options_.cache_dir, plan).c_str());
       }
-      return ExperimentResult{std::move(*cached), {}, true};
+      return ExperimentResult{std::move(*cached), {}, true, {}};
     }
   }
 
@@ -334,6 +359,7 @@ ExperimentResult ExperimentDriver::run(const ExperimentPlan& plan) const {
 
   ExperimentResult result;
   result.samples = reduce_to_samples(plan, records);
+  result.telemetry = merge_telemetry(records);
   if (options_.use_cache) {
     store_cached_samples(options_.cache_dir, plan, result.samples);
   }

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common/telemetry.hpp"
 #include "expt/algorithm_registry.hpp"
 #include "expt/scale.hpp"
 #include "expt/scenario_catalog.hpp"
@@ -37,6 +38,11 @@ struct RunRecord {
   std::vector<moo::Solution> front;
   std::size_t evaluations = 0;
   double wall_seconds = 0.0;
+  /// Per-cell telemetry: counters (`cells`, `evaluations`, `sim.runs`,
+  /// `sim.events`, `front.points`), wall-time gauges (`cell.wall_s`,
+  /// `scenario.<key>.wall_s`) and the `front.size` histogram.  Rides the
+  /// shard manifests (format v2) and merges associatively campaign-wide.
+  telemetry::Snapshot telemetry;
 };
 
 /// Normalised quality indicators of one run against the per-scenario
@@ -107,6 +113,11 @@ struct ExperimentResult {
   std::vector<IndicatorSample> samples;  ///< grid order (scenario-major)
   std::vector<RunRecord> records;        ///< populated iff collect_records
   bool from_cache = false;
+  /// Campaign-wide fold of the per-cell snapshots, merged in grid order
+  /// (`merge_telemetry`) — identical for any worker count, rank count or
+  /// shard layout.  Empty on cache hits (the CSV cache carries no
+  /// telemetry).
+  telemetry::Snapshot telemetry;
 };
 
 class ExperimentDriver {
@@ -126,6 +137,13 @@ class ExperimentDriver {
     std::size_t eval_threads = 0;
     /// Per-cell progress lines on stdout.
     bool verbose = true;
+    /// Live campaign progress: after each completed cell its telemetry
+    /// snapshot is folded into this meter (thread-safe), which prints its
+    /// `[progress]` line to stderr every N cells.  Shared across
+    /// `DistributedDriver` ranks so the feed covers the whole world.
+    /// nullptr = no progress stream.  Purely observational: cached CSV
+    /// bytes and indicator samples are identical with or without it.
+    telemetry::ProgressMeter* progress = nullptr;
   };
 
   ExperimentDriver() = default;
@@ -169,6 +187,13 @@ void validate_plan(const ExperimentPlan& plan);
 /// have to reproduce the records.
 [[nodiscard]] std::vector<IndicatorSample> reduce_to_samples(
     const ExperimentPlan& plan, const std::vector<RunRecord>& records);
+
+/// The campaign-wide telemetry fold: per-cell snapshots merged in the
+/// records' (grid) order.  A pure function of the records, so every
+/// execution strategy that reproduces them — any worker count, rank count
+/// or shard layout — produces the identical snapshot.
+[[nodiscard]] telemetry::Snapshot merge_telemetry(
+    const std::vector<RunRecord>& records);
 
 /// The exact bytes of the indicator CSV (header + one row per sample,
 /// doubles at max precision) — shared by the cache store and the shard

@@ -10,12 +10,14 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/telemetry.hpp"
 #include "moo/core/front_io.hpp"
 
 namespace aedbmls::expt {
 namespace {
 
-constexpr const char* kMagic = "aedbmls-shard-manifest v1";
+constexpr const char* kMagicV1 = "aedbmls-shard-manifest v1";
+constexpr const char* kMagicV2 = "aedbmls-shard-manifest v2";
 
 [[noreturn]] void fail(std::size_t line_number, const std::string& what) {
   std::ostringstream os;
@@ -139,7 +141,7 @@ ShardManifest make_manifest(const ExperimentPlan& plan,
 
 std::string encode_manifest(const ShardManifest& manifest) {
   std::string out;
-  out += kMagic;
+  out += kMagicV2;
   out += '\n';
   {
     char buffer[32];
@@ -157,6 +159,11 @@ std::string encode_manifest(const ShardManifest& manifest) {
   out += shape.str();
   for (const CellResult& result : manifest.results) {
     const RunRecord& record = result.record;
+    // v2: the cell line's trailing count announces how many telemetry
+    // lines follow it (before the points), so the decoder needs no
+    // look-ahead.
+    const std::vector<std::string> telemetry_lines =
+        telemetry::encode_snapshot(record.telemetry);
     std::ostringstream cell;
     cell << "cell " << result.index << ' ' << record.run_seed << ' '
          << record.evaluations << ' ' << record.front.size() << ' ';
@@ -166,7 +173,13 @@ std::string encode_manifest(const ShardManifest& manifest) {
     out += checked_name(record.algorithm, "algorithm name");
     out += ' ';
     out += checked_name(record.scenario, "scenario key");
+    out += ' ';
+    out += std::to_string(telemetry_lines.size());
     out += '\n';
+    for (const std::string& line : telemetry_lines) {
+      out += line;
+      out += '\n';
+    }
     for (const moo::Solution& solution : record.front) {
       std::ostringstream point;
       point << "point " << solution.objectives.size() << ' '
@@ -191,9 +204,12 @@ std::string encode_manifest(const ShardManifest& manifest) {
 ShardManifest decode_manifest(const std::string& text) {
   LineReader reader(text);
   reader.require_next("the manifest header");
-  if (reader.line != kMagic) {
+  // v1 manifests (no per-cell telemetry) stay decodable: merging an old
+  // shard set must keep working, it just yields empty telemetry.
+  const bool v2 = reader.line == kMagicV2;
+  if (!v2 && reader.line != kMagicV1) {
     fail(reader.line_number, std::string("bad header '") + reader.line +
-                                 "', expected '" + kMagic + "'");
+                                 "', expected '" + kMagicV2 + "' (or v1)");
   }
 
   ShardManifest manifest;
@@ -219,7 +235,8 @@ ShardManifest decode_manifest(const std::string& text) {
     reader.require_next("'cell' or 'end'");
     if (reader.line == "end") break;
     const auto tokens = tokens_of(reader.line);
-    if (tokens.size() != 8 || tokens[0] != "cell") {
+    const std::size_t cell_tokens = v2 ? 9 : 8;
+    if (tokens.size() != cell_tokens || tokens[0] != "cell") {
       fail(reader.line_number,
            std::string("expected 'cell' or 'end', got '") + reader.line + "'");
     }
@@ -238,6 +255,17 @@ ShardManifest decode_manifest(const std::string& text) {
         to_double(tokens[5], reader.line_number, "wall seconds");
     result.record.algorithm = tokens[6];
     result.record.scenario = tokens[7];
+    const std::size_t telemetry_lines =
+        v2 ? to_size(tokens[8], reader.line_number, "telemetry line count")
+           : 0;
+    for (std::size_t t = 0; t < telemetry_lines; ++t) {
+      reader.require_next("a telemetry line");
+      try {
+        telemetry::decode_snapshot_line(reader.line, result.record.telemetry);
+      } catch (const std::invalid_argument& error) {
+        fail(reader.line_number, error.what());
+      }
+    }
     result.record.front.reserve(front_size);
     for (std::size_t p = 0; p < front_size; ++p) {
       reader.require_next("a 'point' line");
@@ -416,6 +444,7 @@ ExperimentResult merge_campaign(const ExperimentPlan& plan,
 
   ExperimentResult result;
   result.samples = reduce_to_samples(plan, records);
+  result.telemetry = merge_telemetry(records);
   // The canonical artifacts CI diffs against an unsharded run: the
   // fingerprint-keyed indicator CSV (same bytes as the driver's cache
   // store) and the per-scenario reference fronts.

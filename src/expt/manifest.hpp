@@ -10,20 +10,25 @@
 /// unsharded run — the reduced indicator CSV is byte-for-byte identical to
 /// the one `ExperimentDriver` writes.
 ///
-/// Format v1, line-oriented ASCII.  Doubles are printed with `%.17g`, which
+/// Format v2, line-oriented ASCII.  Doubles are printed with `%.17g`, which
 /// round-trips IEEE-754 binary64 exactly, so decoded fronts are bitwise
 /// equal to the originals:
 ///
-///   aedbmls-shard-manifest v1
+///   aedbmls-shard-manifest v2
 ///   fingerprint <hex>
 ///   scale <name>
 ///   shard <i> <N>
 ///   cells <total cells in the plan>
 ///   cell <index> <seed> <evaluations> <front_size> <wall_seconds>
-///        <algorithm> <scenario>                      (one line)
+///        <algorithm> <scenario> <telemetry_lines>    (one line)
+///   tcounter|tgauge|thist ...                        (telemetry_lines lines,
+///                                                     common/telemetry.hpp)
 ///   point <n_obj> <n_x> <cv> <f...> <x...>           (front_size lines)
 ///   ...
 ///   end
+///
+/// v1 manifests (no telemetry count on the cell line, no telemetry lines)
+/// still decode — their records simply carry empty telemetry.
 
 #include <cstdint>
 #include <string>
@@ -52,11 +57,12 @@ struct ShardManifest {
                                           std::size_t shard_count,
                                           std::vector<CellResult> results);
 
-/// Serialises the manifest (format v1 above).
+/// Serialises the manifest (format v2 above).
 [[nodiscard]] std::string encode_manifest(const ShardManifest& manifest);
 
-/// Parses a format-v1 manifest.  Throws std::invalid_argument with a
-/// line-level description on anything malformed or truncated.
+/// Parses a manifest in format v2 or v1 (the version line says which).
+/// Throws std::invalid_argument with a line-level description on anything
+/// malformed or truncated.
 [[nodiscard]] ShardManifest decode_manifest(const std::string& text);
 
 /// Canonical file name: `shard_<i>_of_<N>.manifest`.

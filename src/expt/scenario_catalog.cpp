@@ -36,6 +36,8 @@ aedb::ScenarioConfig ScenarioSpec::scenario_config(
   config.network.network_index = network_index;
   config.data_bytes = data_bytes;
   config.beacon_bytes = beacon_bytes;
+  config.beacon_period = sim::seconds_d(beacon_period_s);
+  config.beacon_jitter = sim::seconds_d(beacon_jitter_s);
   return config;
 }
 

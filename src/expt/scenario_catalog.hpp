@@ -62,6 +62,12 @@ struct ScenarioSpec {
   std::uint32_t data_bytes = 256;   ///< broadcast payload (Table II: 256 B)
   std::uint32_t beacon_bytes = 50;  ///< hello-beacon frame size
 
+  // Beaconing cadence.  Both feed `BeaconApp::Config` verbatim; defaults
+  // reproduce the paper's Table II setup (1 Hz beacons, 10 ms of
+  // desynchronising jitter) bit-for-bit.
+  double beacon_period_s = 1.0;     ///< hello-beacon interval
+  double beacon_jitter_s = 0.010;   ///< per-beacon random jitter window
+
   /// Node count on this arena (density x area).
   [[nodiscard]] std::size_t node_count() const;
 

@@ -6,7 +6,9 @@
 namespace aedbmls::sim {
 
 void NeighborTable::update(NodeId id, double rx_dbm, double tx_dbm, Time now) {
-  Entry& entry = entries_[id];
+  if (id >= slots_.size()) slots_.resize(id + 1);
+  Entry& entry = slots_[id];
+  if (entry.id == kInvalidNode) ++size_;
   entry.id = id;
   entry.last_rx_dbm = rx_dbm;
   entry.path_loss_db = tx_dbm - rx_dbm;
@@ -14,27 +16,31 @@ void NeighborTable::update(NodeId id, double rx_dbm, double tx_dbm, Time now) {
 }
 
 void NeighborTable::purge(Time now) {
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    if (now - it->second.last_heard > expiry_) {
-      it = entries_.erase(it);
-    } else {
-      ++it;
+  for (Entry& entry : slots_) {
+    if (entry.id != kInvalidNode && now - entry.last_heard > expiry_) {
+      entry = Entry{};
+      --size_;
     }
   }
 }
 
-bool NeighborTable::erase(NodeId id) { return entries_.erase(id) > 0; }
+bool NeighborTable::erase(NodeId id) {
+  if (!contains(id)) return false;
+  slots_[id] = Entry{};
+  --size_;
+  return true;
+}
 
 std::optional<NeighborTable::Entry> NeighborTable::find(NodeId id) const {
-  const auto it = entries_.find(id);
-  if (it == entries_.end()) return std::nullopt;
-  return it->second;
+  if (!contains(id)) return std::nullopt;
+  return slots_[id];
 }
 
 std::size_t NeighborTable::count_in_forwarding_area(double border_dbm,
                                                     double default_tx_dbm) const {
   std::size_t count = 0;
-  for (const auto& [id, entry] : entries_) {
+  for (const Entry& entry : slots_) {
+    if (entry.id == kInvalidNode) continue;
     const double predicted_rx = default_tx_dbm - entry.path_loss_db;
     if (predicted_rx <= border_dbm) ++count;
   }
@@ -45,7 +51,8 @@ std::optional<NeighborTable::Entry> NeighborTable::closest_to_border(
     double border_dbm, double default_tx_dbm) const {
   std::optional<Entry> best;
   double best_rx = -std::numeric_limits<double>::infinity();
-  for (const auto& [id, entry] : entries_) {
+  for (const Entry& entry : slots_) {
+    if (entry.id == kInvalidNode) continue;
     const double predicted_rx = default_tx_dbm - entry.path_loss_db;
     if (predicted_rx <= border_dbm && predicted_rx > best_rx) {
       best_rx = predicted_rx;
@@ -59,8 +66,11 @@ std::optional<NeighborTable::Entry> NeighborTable::furthest(
     const std::vector<NodeId>& exclude) const {
   std::optional<Entry> best;
   double best_loss = -1.0;
-  for (const auto& [id, entry] : entries_) {
-    if (std::find(exclude.begin(), exclude.end(), id) != exclude.end()) continue;
+  for (const Entry& entry : slots_) {
+    if (entry.id == kInvalidNode) continue;
+    if (std::find(exclude.begin(), exclude.end(), entry.id) != exclude.end()) {
+      continue;
+    }
     if (entry.path_loss_db > best_loss) {
       best_loss = entry.path_loss_db;
       best = entry;
@@ -71,8 +81,10 @@ std::optional<NeighborTable::Entry> NeighborTable::furthest(
 
 std::vector<NeighborTable::Entry> NeighborTable::entries() const {
   std::vector<Entry> out;
-  out.reserve(entries_.size());
-  for (const auto& [id, entry] : entries_) out.push_back(entry);
+  out.reserve(size_);
+  for (const Entry& entry : slots_) {
+    if (entry.id != kInvalidNode) out.push_back(entry);
+  }
   return out;
 }
 

@@ -8,10 +8,16 @@
 /// assumption too — "the power at which neighbor j hears me when I transmit
 /// at P" is `P − path_loss(j)`, which is everything AEDB's forwarding-area
 /// and power-adaptation logic needs.
+///
+/// Storage is a flat NodeId-indexed slot array (node ids are dense, starting
+/// at zero): lookups are O(1), the selection helpers walk the slots in
+/// NodeId order — deterministic by construction, independent of insertion
+/// history — and `reset()` is an O(capacity) fill that performs no heap
+/// allocation, so pooled simulation contexts reuse the table across runs
+/// for free.
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.hpp"
@@ -33,14 +39,18 @@ class NeighborTable {
       : expiry_(expiry) {}
 
   /// Returns the table to its just-constructed state under a (possibly new)
-  /// expiry.  The entry map is rebuilt rather than `clear()`ed on purpose:
-  /// a cleared `unordered_map` keeps its grown bucket array, which changes
-  /// iteration order relative to a fresh table and would break the
-  /// bitwise-determinism contract of pooled scenario reuse (the selection
-  /// helpers below iterate the map).
+  /// expiry.  Slot storage is retained: a pooled context's per-run reset is
+  /// a fill, not a rebuild.
   void reset(Time expiry) noexcept {
     expiry_ = expiry;
-    entries_ = decltype(entries_){};
+    for (Entry& slot : slots_) slot = Entry{};
+    size_ = 0;
+  }
+
+  /// Preallocates slots for node ids [0, capacity).  Pooled contexts size
+  /// the table once per topology so steady-state updates never allocate.
+  void reserve(std::size_t capacity) {
+    if (capacity > slots_.size()) slots_.resize(capacity);
   }
 
   /// Records a beacon from `id` heard at `rx_dbm` (sent at `tx_dbm`).
@@ -53,8 +63,10 @@ class NeighborTable {
   /// Returns true if present.
   bool erase(NodeId id);
 
-  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
-  [[nodiscard]] bool contains(NodeId id) const { return entries_.count(id) > 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool contains(NodeId id) const {
+    return id < slots_.size() && slots_[id].id != kInvalidNode;
+  }
   [[nodiscard]] std::optional<Entry> find(NodeId id) const;
 
   /// Neighbors in *my* forwarding area: those that would receive my
@@ -66,21 +78,24 @@ class NeighborTable {
 
   /// Among forwarding-area neighbors, the one whose predicted rx power is
   /// *closest to the border from below* (AEDB's "new furthest neighbor" in
-  /// dense mode, Fig. 1 line 20).  nullopt when the area is empty.
+  /// dense mode, Fig. 1 line 20).  nullopt when the area is empty.  Ties
+  /// resolve to the lowest NodeId.
   [[nodiscard]] std::optional<Entry> closest_to_border(double border_dbm,
                                                        double default_tx_dbm) const;
 
   /// The neighbor with the largest path loss (the furthest one),
-  /// optionally ignoring ids in `exclude`.  nullopt when empty.
+  /// optionally ignoring ids in `exclude`.  nullopt when empty.  Ties
+  /// resolve to the lowest NodeId.
   [[nodiscard]] std::optional<Entry> furthest(
       const std::vector<NodeId>& exclude = {}) const;
 
-  /// Snapshot of all entries (unordered).
+  /// Snapshot of all entries, in NodeId order.
   [[nodiscard]] std::vector<Entry> entries() const;
 
  private:
   Time expiry_;
-  std::unordered_map<NodeId, Entry> entries_;
+  std::vector<Entry> slots_;  ///< NodeId-indexed; id == kInvalidNode is empty
+  std::size_t size_ = 0;      ///< occupied slots
 };
 
 }  // namespace aedbmls::sim

@@ -17,7 +17,8 @@ void CsmaBroadcastMac::reset(const Params& params, std::uint64_t rng_seed) {
   AEDB_REQUIRE(params.cw >= 1, "contention window must be >= 1");
   params_ = params;
   rng_ = Xoshiro256(rng_seed);
-  queue_.clear();
+  queue_head_ = 0;
+  queue_count_ = 0;
   transmitting_ = false;
   retry_scheduled_ = false;
   counters_ = Counters{};
@@ -28,20 +29,38 @@ void CsmaBroadcastMac::enqueue(Frame frame, double tx_power_dbm) {
   const double clamped =
       std::clamp(tx_power_dbm, phy_.params().min_tx_power_dbm,
                  phy_.params().max_tx_power_dbm);
-  queue_.push_back(Pending{frame, clamped, 0});
+  queue_push(Pending{frame, clamped, 0});
   try_send();
 }
 
-void CsmaBroadcastMac::try_send() {
-  if (transmitting_ || retry_scheduled_ || queue_.empty()) return;
+void CsmaBroadcastMac::queue_push(Pending pending) {
+  if (queue_count_ == queue_.size()) {
+    // Grow to the next power of two and unroll the ring into the new
+    // storage so index arithmetic stays a single mask.
+    std::vector<Pending> grown;
+    grown.reserve(queue_.empty() ? 4 : queue_.size() * 2);
+    for (std::size_t i = 0; i < queue_count_; ++i) {
+      grown.push_back(queue_[(queue_head_ + i) & (queue_.size() - 1)]);
+    }
+    grown.resize(grown.capacity());
+    queue_ = std::move(grown);
+    queue_head_ = 0;
+  }
+  queue_[(queue_head_ + queue_count_) & (queue_.size() - 1)] =
+      std::move(pending);
+  ++queue_count_;
+}
 
-  Pending& head = queue_.front();
+void CsmaBroadcastMac::try_send() {
+  if (transmitting_ || retry_scheduled_ || queue_empty()) return;
+
+  Pending& head = queue_front();
   if (phy_.medium_busy()) {
     ++counters_.cca_busy;
     if (++head.attempts > params_.max_retries) {
       ++counters_.dropped;
       const Frame dropped = head.frame;
-      queue_.pop_front();
+      queue_pop();
       if (on_drop_) on_drop_(dropped);
       try_send();
       return;
@@ -64,11 +83,11 @@ void CsmaBroadcastMac::try_send() {
 void CsmaBroadcastMac::tx_finished() {
   AEDB_REQUIRE(transmitting_, "tx_finished without transmission");
   transmitting_ = false;
-  AEDB_REQUIRE(!queue_.empty(), "MAC queue underflow");
+  AEDB_REQUIRE(!queue_empty(), "MAC queue underflow");
   ++counters_.sent;
-  const Frame sent = queue_.front().frame;
-  const double power = queue_.front().tx_power_dbm;
-  queue_.pop_front();
+  const Frame sent = queue_front().frame;
+  const double power = queue_front().tx_power_dbm;
+  queue_pop();
   if (on_sent_) on_sent_(sent, power);
   try_send();
 }

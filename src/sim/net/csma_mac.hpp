@@ -12,8 +12,8 @@
 /// lightly loaded: beacons plus a single dissemination wave).
 
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "sim/core/simulator.hpp"
@@ -55,7 +55,7 @@ class CsmaBroadcastMac {
   void set_drop_callback(DropCallback cb) { on_drop_ = std::move(cb); }
   void set_sent_callback(SentCallback cb) { on_sent_ = std::move(cb); }
 
-  [[nodiscard]] std::size_t queue_length() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::size_t queue_length() const noexcept { return queue_count_; }
 
   struct Counters {
     std::uint64_t enqueued = 0;
@@ -75,11 +75,28 @@ class CsmaBroadcastMac {
   void try_send();
   void tx_finished();
 
+  /// FIFO access to the power-of-two ring below.  A `std::deque` here costs
+  /// one chunk allocation every few frames as the push/pop cursor migrates
+  /// across chunk boundaries — measurable per-run heap traffic under pooled
+  /// steady state.  The ring retains its capacity across `reset()`, so once
+  /// warmed it never allocates again.
+  [[nodiscard]] Pending& queue_front() noexcept {
+    return queue_[queue_head_ & (queue_.size() - 1)];
+  }
+  void queue_push(Pending pending);
+  void queue_pop() noexcept {
+    ++queue_head_;
+    --queue_count_;
+  }
+  [[nodiscard]] bool queue_empty() const noexcept { return queue_count_ == 0; }
+
   Simulator& simulator_;
   WirelessPhy& phy_;
   Params params_;
   Xoshiro256 rng_;
-  std::deque<Pending> queue_;
+  std::vector<Pending> queue_;   ///< ring storage, size always a power of two
+  std::size_t queue_head_ = 0;   ///< index of the oldest pending frame
+  std::size_t queue_count_ = 0;  ///< live entries in the ring
   bool transmitting_ = false;
   bool retry_scheduled_ = false;
   DropCallback on_drop_;

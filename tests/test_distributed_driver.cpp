@@ -190,6 +190,31 @@ TEST(DistributedDriver, CollectsFullRecordsAndWritesTheSameCache) {
   expect_identical(reference.samples, cached.samples);
 }
 
+TEST(DistributedDriver, TelemetryAggregationIsRankAndWorkerInvariant) {
+  // The exact-arithmetic instruments (counters, histogram buckets) are
+  // pure functions of the deterministic cell results, so every rank x
+  // worker execution strategy folds to identical values.  Wall-time gauges
+  // carry measured values; their observation counts are still invariant.
+  const ExperimentPlan plan = tiny_plan();
+  const auto reference = ExperimentDriver(quiet(2)).run(plan);
+  ASSERT_FALSE(reference.telemetry.empty());
+  const std::pair<std::size_t, std::size_t> combos[] = {{1, 2}, {2, 3}, {4, 1}};
+  for (const auto& [ranks, workers] : combos) {
+    const auto distributed =
+        DistributedDriver(world_of(ranks, workers)).run(plan);
+    EXPECT_EQ(distributed.telemetry.counters, reference.telemetry.counters)
+        << ranks << " ranks, " << workers << " workers";
+    EXPECT_EQ(distributed.telemetry.histograms, reference.telemetry.histograms)
+        << ranks << " ranks, " << workers << " workers";
+    ASSERT_EQ(distributed.telemetry.gauges.size(),
+              reference.telemetry.gauges.size());
+    for (const auto& [name, gauge] : reference.telemetry.gauges) {
+      EXPECT_EQ(distributed.telemetry.gauges.at(name).count, gauge.count)
+          << name;
+    }
+  }
+}
+
 TEST(DistributedDriver, FailingRankLeavesTheWorldInsteadOfDeadlocking) {
   // "NoSuchAlgorithm" passes plan validation (which only rejects
   // duplicates) and throws inside its rank's shard; with 2 ranks and 2
@@ -228,6 +253,13 @@ TEST(ShardManifest, EncodeDecodeRoundTripsBitwise) {
   tricky.constraint_violation = 1.0000000000000002;
   tricky.evaluated = true;
   result.record.front = {tricky, tricky};
+  // Telemetry rides the v2 cell block; 0.1 is inexact in binary64, so a
+  // lossy double round trip would show up here.
+  telemetry::Registry registry;
+  registry.counter("evaluations").add(24);
+  registry.gauge("cell.wall_s").observe(0.1);
+  registry.histogram("front.size").observe(2);
+  result.record.telemetry = registry.snapshot();
   manifest.results.push_back(result);
 
   const ShardManifest decoded = decode_manifest(encode_manifest(manifest));
@@ -262,6 +294,46 @@ TEST(ShardManifest, EncodeDecodeRoundTripsBitwise) {
     EXPECT_EQ(std::bit_cast<std::uint64_t>(solution.constraint_violation),
               std::bit_cast<std::uint64_t>(tricky.constraint_violation));
   }
+  EXPECT_EQ(record.telemetry, result.record.telemetry);
+}
+
+TEST(ShardManifest, V1ManifestsDecodeWithEmptyTelemetry) {
+  // Pre-telemetry manifests (format v1: no trailing telemetry count on the
+  // cell line, no telemetry lines) must keep decoding — merging an archive
+  // of old shard artifacts should not require regenerating them.
+  const ExperimentPlan plan = tiny_plan();
+  ShardManifest manifest = make_manifest(plan, 0, 2, {});
+  CellResult result;
+  result.index = 0;
+  result.record.algorithm = "NSGAII";
+  result.record.scenario = "d100";
+  result.record.run_seed = cell_seed(plan.scale, "d100", 0);
+  result.record.evaluations = 24;
+  result.record.wall_seconds = 0.5;
+  manifest.results.push_back(result);
+
+  // Rewrite the v2 encoding as its v1 equivalent: downgrade the magic and
+  // drop each cell line's trailing telemetry count (none of the records
+  // carry telemetry, so there are no telemetry lines to strip).
+  std::istringstream v2(encode_manifest(manifest));
+  std::string v1;
+  std::string line;
+  while (std::getline(v2, line)) {
+    if (line == "aedbmls-shard-manifest v2") {
+      line = "aedbmls-shard-manifest v1";
+    } else if (line.rfind("cell ", 0) == 0) {
+      ASSERT_EQ(line.substr(line.size() - 2), " 0");
+      line.resize(line.size() - 2);
+    }
+    v1 += line;
+    v1 += '\n';
+  }
+
+  const ShardManifest decoded = decode_manifest(v1);
+  ASSERT_EQ(decoded.results.size(), 1u);
+  EXPECT_EQ(decoded.results[0].record.algorithm, "NSGAII");
+  EXPECT_EQ(decoded.results[0].record.evaluations, 24u);
+  EXPECT_TRUE(decoded.results[0].record.telemetry.empty());
 }
 
 TEST(ShardManifest, DecodeRejectsMalformedInput) {
@@ -310,6 +382,33 @@ TEST(ShardManifest, MergeReconstructsTheUnshardedCampaignBitwise) {
     EXPECT_EQ(slurp(path.str()),
               moo::front_to_csv(reference_front(full.records, scenario)))
         << scenario;
+  }
+}
+
+TEST(ShardManifest, MergedTelemetryIsShardLayoutInvariant) {
+  // Per-cell telemetry rides the manifests; merge_campaign folds it in
+  // grid order, so the exact instruments agree across shard layouts and
+  // with the unsharded driver run.
+  const ExperimentPlan plan = tiny_plan();
+  const auto full = ExperimentDriver(quiet(2)).run(plan);
+  ASSERT_FALSE(full.telemetry.empty());
+
+  for (const std::size_t count : {std::size_t{2}, std::size_t{3}}) {
+    const std::string shard_dir =
+        scratch_dir("telemetry_shards_" + std::to_string(count));
+    write_shards(plan, count, shard_dir);
+    auto merge_options = quiet(1);
+    merge_options.cache_dir = scratch_dir("telemetry_merged_" +
+                                          std::to_string(count));
+    const auto merged = merge_campaign(plan, shard_dir, merge_options);
+    EXPECT_EQ(merged.telemetry.counters, full.telemetry.counters)
+        << count << " shards";
+    EXPECT_EQ(merged.telemetry.histograms, full.telemetry.histograms)
+        << count << " shards";
+    ASSERT_EQ(merged.telemetry.gauges.size(), full.telemetry.gauges.size());
+    for (const auto& [name, gauge] : full.telemetry.gauges) {
+      EXPECT_EQ(merged.telemetry.gauges.at(name).count, gauge.count) << name;
+    }
   }
 }
 

@@ -113,6 +113,33 @@ TEST(ExperimentDriver, ShardedSamplesAreBitwiseIdenticalAt1_4_12Workers) {
   }
 }
 
+TEST(ExperimentDriver, TelemetryAggregationIsWorkerCountInvariant) {
+  // Counters and histograms are exact arithmetic over deterministic cell
+  // results, so any worker count folds to the identical values.  Gauges
+  // carry measured wall times (nondeterministic values), but their
+  // observation counts and key set are still schedule-independent.
+  const ExperimentPlan plan = tiny_plan();
+  const auto serial = ExperimentDriver(quiet(1)).run(plan);
+  ASSERT_FALSE(serial.telemetry.empty());
+  EXPECT_EQ(serial.telemetry.counters.at("cells"), plan.cell_count());
+  EXPECT_GT(serial.telemetry.counters.at("evaluations"), 0u);
+  EXPECT_GT(serial.telemetry.counters.at("sim.runs"), 0u);
+  EXPECT_GT(serial.telemetry.counters.at("sim.events"), 0u);
+  EXPECT_EQ(serial.telemetry.histograms.at("front.size").count,
+            plan.cell_count());
+  for (const std::size_t workers : {4u, 12u}) {
+    const auto sharded = ExperimentDriver(quiet(workers)).run(plan);
+    EXPECT_EQ(sharded.telemetry.counters, serial.telemetry.counters)
+        << workers << " workers";
+    EXPECT_EQ(sharded.telemetry.histograms, serial.telemetry.histograms)
+        << workers << " workers";
+    ASSERT_EQ(sharded.telemetry.gauges.size(), serial.telemetry.gauges.size());
+    for (const auto& [name, gauge] : serial.telemetry.gauges) {
+      EXPECT_EQ(sharded.telemetry.gauges.at(name).count, gauge.count) << name;
+    }
+  }
+}
+
 TEST(ExperimentDriver, RecordsMatchSerialRunRepeats) {
   const Scale scale = tiny_scale();
   ExperimentPlan plan = ExperimentPlan::of({"Random"}, scale);
@@ -154,6 +181,10 @@ TEST(ExperimentDriver, CacheRoundTripsByFingerprint) {
   const auto cached = driver.run(plan);
   EXPECT_TRUE(cached.from_cache);
   expect_identical(fresh.samples, cached.samples);
+  // A cache hit runs no cells, so it carries no telemetry (the CSV cache
+  // stores indicator samples only).
+  EXPECT_FALSE(fresh.telemetry.empty());
+  EXPECT_TRUE(cached.telemetry.empty());
 
   // A different grid gets a different cache entry, not a stale hit.
   ExperimentPlan other = plan;

@@ -95,6 +95,8 @@ TEST(ScenarioCatalog, SpecCoversTheFullSimulatorSurface) {
   spec.mac.max_retries = 7;
   spec.data_bytes = 512;
   spec.beacon_bytes = 75;
+  spec.beacon_period_s = 0.5;
+  spec.beacon_jitter_s = 0.025;
 
   const aedb::ScenarioConfig config = spec.scenario_config(3, 1);
   EXPECT_EQ(config.network.propagation.exponent, 2.7);
@@ -109,6 +111,38 @@ TEST(ScenarioCatalog, SpecCoversTheFullSimulatorSurface) {
   EXPECT_EQ(config.network.mac.max_retries, 7u);
   EXPECT_EQ(config.data_bytes, 512u);
   EXPECT_EQ(config.beacon_bytes, 75u);
+  EXPECT_EQ(config.beacon_period.ns(), sim::seconds_d(0.5).ns());
+  EXPECT_EQ(config.beacon_jitter.ns(), sim::seconds_d(0.025).ns());
+}
+
+TEST(ScenarioCatalog, BeaconCadenceDefaultsReproduceTableTwo) {
+  // The beaconing knobs default to the hard-wired values every pre-knob
+  // run used (1 s period, 10 ms jitter): the catalog presets — and hence
+  // the pinned golden indicator CSVs — must be bit-for-bit unaffected by
+  // the knobs' existence.
+  const ScenarioSpec spec = ScenarioCatalog::instance().resolve("d200");
+  EXPECT_EQ(spec.beacon_period_s, 1.0);
+  EXPECT_EQ(spec.beacon_jitter_s, 0.010);
+  const aedb::ScenarioConfig config = spec.scenario_config(1, 0);
+  const aedb::ScenarioConfig defaults;
+  EXPECT_EQ(config.beacon_period.ns(), defaults.beacon_period.ns());
+  EXPECT_EQ(config.beacon_jitter.ns(), defaults.beacon_jitter.ns());
+}
+
+TEST(ScenarioCatalog, NewSpecFieldsMustBeTriagedHere) {
+  // Fires when a field is added to (or resized in) ScenarioSpec.  When it
+  // does: wire the new knob through scenario_config(), hash it into
+  // ExperimentPlan::fingerprint() (a knob outside the fingerprint serves
+  // stale cached indicators after a preset edit), then update this
+  // expected size.  Gated to the CI platform so exotic ABIs don't trip
+  // over padding differences.
+#if defined(__x86_64__) && defined(__linux__)
+  EXPECT_EQ(sizeof(ScenarioSpec), 288u)
+      << "ScenarioSpec changed shape: triage the new/resized field for "
+         "scenario_config() and ExperimentPlan::fingerprint()";
+#else
+  GTEST_SKIP() << "size guard only runs on the x86-64 Linux CI platform";
+#endif
 }
 
 TEST(ScenarioCatalog, UrbanCanyonCorrelationReachesTheNetwork) {
