@@ -1,14 +1,20 @@
 #include "experiment/bench_cli.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <map>
 #include <memory>
 #include <stdexcept>
 #include <utility>
 
 #include "common/telemetry.hpp"
+#include "par/net/tcp_transport.hpp"
 
 #include "expt/algorithm_registry.hpp"
+#include "expt/campaign_service.hpp"
 #include "expt/distributed_driver.hpp"
 #include "expt/manifest.hpp"
 #include "expt/scenario_catalog.hpp"
@@ -93,6 +99,103 @@ std::unique_ptr<telemetry::ProgressMeter> make_progress(
       total_cells, static_cast<std::size_t>(every));
 }
 
+/// `--telemetry-out=FILE`: dumps the snapshot via the line codec (one
+/// `tcounter`/`tgauge`/`thist` line per instrument) — the file feeds
+/// straight back into `--cost-priors`.
+void maybe_write_telemetry(const CliArgs& args,
+                           const telemetry::Snapshot& snapshot) {
+  if (!args.has("telemetry-out")) return;
+  const std::string path = args.get("telemetry-out");
+  if (path.empty()) {
+    std::fprintf(stderr, "error: --telemetry-out needs a file path\n");
+    std::exit(2);
+  }
+  const auto lines = telemetry::encode_snapshot(snapshot);
+  std::ofstream out(path, std::ios::trunc);
+  for (const std::string& line : lines) out << line << '\n';
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write telemetry to %s\n",
+                 path.c_str());
+    std::exit(2);
+  }
+  std::printf("[telemetry] %zu instrument lines -> %s\n", lines.size(),
+              path.c_str());
+}
+
+/// `--cost-priors=FILE`: a telemetry snapshot dump (e.g. a previous run's
+/// --telemetry-out) whose `scenario.<key>.wall_s` gauges seed the elastic
+/// coordinator's scheduling order.
+std::map<std::string, double> cost_priors_or_exit(const CliArgs& args) {
+  if (!args.has("cost-priors")) return {};
+  const std::string path = args.get("cost-priors");
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read --cost-priors file %s\n",
+                 path.c_str());
+    std::exit(2);
+  }
+  telemetry::Snapshot snapshot;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    try {
+      telemetry::decode_snapshot_line(line, snapshot);
+    } catch (const std::invalid_argument& error) {
+      std::fprintf(stderr, "error: %s line %zu: %s\n", path.c_str(),
+                   line_number, error.what());
+      std::exit(2);
+    }
+  }
+  return cost_priors_from_snapshot(snapshot);
+}
+
+/// Network knobs shared by --serve and --connect, from the environment
+/// (flags would collide with per-bench options; the elastic CI job and
+/// failure-injection tests tune these).
+par::net::TcpOptions net_options_from_env() {
+  par::net::TcpOptions net;
+  net.heartbeat_interval = std::chrono::milliseconds(
+      std::max(0L, env_or_int("AEDB_NET_HEARTBEAT_MS", 1000)));
+  net.peer_deadline = std::chrono::milliseconds(
+      std::max(0L, env_or_int("AEDB_NET_DEADLINE_MS", 10000)));
+  net.connect_attempts = static_cast<std::size_t>(
+      std::max(1L, env_or_int("AEDB_NET_CONNECT_ATTEMPTS", 30)));
+  return net;
+}
+
+/// `--connect=HOST:PORT` with a non-empty host and a port in [1, 65535].
+std::pair<std::string, std::uint16_t> parse_host_port_or_exit(
+    const std::string& spec) {
+  const auto bad = [&spec]() -> std::pair<std::string, std::uint16_t> {
+    std::fprintf(stderr,
+                 "error: bad --connect spec '%s'; expected HOST:PORT "
+                 "(e.g. --connect=127.0.0.1:7000)\n",
+                 spec.c_str());
+    std::exit(2);
+  };
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= spec.size()) {
+    return bad();
+  }
+  const std::string port_token = spec.substr(colon + 1);
+  for (const char c : port_token) {
+    if (c < '0' || c > '9') return bad();
+  }
+  unsigned long port = 0;
+  try {
+    std::size_t pos = 0;
+    port = std::stoul(port_token, &pos);
+    if (pos != port_token.size()) return bad();
+  } catch (const std::exception&) {
+    return bad();
+  }
+  if (port == 0 || port > 65535) return bad();
+  return {spec.substr(0, colon), static_cast<std::uint16_t>(port)};
+}
+
 }  // namespace
 
 ExperimentResult run_campaign_or_exit(const CliArgs& args,
@@ -102,12 +205,26 @@ ExperimentResult run_campaign_or_exit(const CliArgs& args,
   const bool shard_mode = args.has("shard");
   const bool merge_mode = args.has("merge");
   const bool ranks_mode = args.has("ranks");
-  if (static_cast<int>(shard_mode) + static_cast<int>(merge_mode) +
-          static_cast<int>(ranks_mode) > 1) {
-    std::fprintf(stderr,
-                 "error: --shard, --merge and --ranks are mutually "
-                 "exclusive\n");
-    std::exit(2);
+  const bool serve_mode = args.has("serve");
+  const bool connect_mode = args.has("connect");
+  {
+    // Distribution modes are mutually exclusive; name the exact clashing
+    // pair so the fix is obvious from the message alone.
+    const char* kModes[] = {"ranks", "shard", "merge", "serve", "connect"};
+    const char* first = nullptr;
+    for (const char* mode : kModes) {
+      if (!args.has(mode)) continue;
+      if (first == nullptr) {
+        first = mode;
+        continue;
+      }
+      std::fprintf(stderr,
+                   "error: --%s conflicts with --%s; pick one distribution "
+                   "mode (--ranks | --shard | --merge | --serve | "
+                   "--connect)\n",
+                   first, mode);
+      std::exit(2);
+    }
   }
   try {
     if (merge_mode) {
@@ -120,7 +237,66 @@ ExperimentResult run_campaign_or_exit(const CliArgs& args,
       std::printf("[merge] %zu indicator samples reassembled from %s -> %s\n",
                   result.samples.size(), dir.c_str(),
                   indicator_csv_path(options.cache_dir, plan).c_str());
+      maybe_write_telemetry(args, result.telemetry);
       return result;
+    }
+    if (serve_mode) {
+      const long port = args.get_int("serve", -1);
+      if (port < 0 || port > 65535) {
+        std::fprintf(stderr,
+                     "error: --serve needs a port in [0, 65535] (0 picks an "
+                     "ephemeral port)\n");
+        std::exit(2);
+      }
+      // In serve mode the coordinator runs no cells itself, so --workers
+      // names the fleet: how many worker processes to accept.
+      const long fleet = args.get_int("workers", 0);
+      if (fleet < 1) {
+        std::fprintf(stderr,
+                     "error: --serve needs --workers=N (the number of "
+                     "worker processes that will --connect)\n");
+        std::exit(2);
+      }
+      const auto progress = make_progress(args, plan.cell_count());
+      options.progress = progress.get();
+      CampaignCoordinatorOptions coordinator;
+      coordinator.cost_priors = cost_priors_or_exit(args);
+      coordinator.driver = std::move(options);
+      par::net::TcpListener listener(static_cast<std::uint16_t>(port),
+                                     net_options_from_env());
+      std::printf("[serve] listening on port %u; waiting for %ld workers\n",
+                  listener.port(), fleet);
+      std::fflush(stdout);
+      const auto transport =
+          listener.accept_workers(static_cast<std::size_t>(fleet));
+      std::printf("[serve] %ld workers connected; scheduling %zu cells\n",
+                  fleet, plan.cell_count());
+      std::fflush(stdout);
+      auto result = run_campaign_coordinator(plan, *transport, coordinator);
+      transport->close();
+      maybe_write_telemetry(args, result.telemetry);
+      return result;
+    }
+    if (connect_mode) {
+      const auto [host, port] = parse_host_port_or_exit(args.get("connect"));
+      CampaignWorkerOptions worker;
+      worker.cell_delay = std::chrono::milliseconds(
+          std::max(0L, env_or_int("AEDB_ELASTIC_CELL_DELAY_MS", 0)));
+      worker.driver = std::move(options);
+      const auto transport =
+          par::net::TcpTransport::connect(host, port, net_options_from_env());
+      std::printf("[connect] joined %s:%u as rank %zu of %zu\n", host.c_str(),
+                  port, transport->rank(), transport->world_size());
+      std::fflush(stdout);
+      const WorkerReport report =
+          run_campaign_worker(plan, *transport, worker);
+      std::printf("[connect] completed %zu cells; coordinator released this "
+                  "worker\n",
+                  report.cells_completed);
+      maybe_write_telemetry(args, report.telemetry);
+      // Like --shard, a worker holds partial results only — the bench
+      // cannot continue on them, so part ways here.
+      std::exit(0);
     }
     if (shard_mode) {
       const auto [index, count] = parse_shard_spec_or_exit(args.get("shard"));
@@ -138,6 +314,11 @@ ExperimentResult run_campaign_or_exit(const CliArgs& args,
       std::printf("[shard %zu/%zu] running %zu of %zu cells\n", index, count,
                   cells.size(), plan.cell_count());
       auto records = ExperimentDriver(options).run_cells(plan, cells);
+      // The shard's own telemetry fold (its cells in shard order) — the
+      // campaign-wide fold belongs to the --merge run.
+      if (args.has("telemetry-out")) {
+        maybe_write_telemetry(args, merge_telemetry(records));
+      }
       std::vector<CellResult> results;
       results.reserve(cells.size());
       for (std::size_t i = 0; i < cells.size(); ++i) {
@@ -161,11 +342,15 @@ ExperimentResult run_campaign_or_exit(const CliArgs& args,
       DistributedDriver::Options distributed;
       distributed.ranks = static_cast<std::size_t>(ranks);
       distributed.driver = std::move(options);
-      return DistributedDriver(std::move(distributed)).run(plan);
+      auto result = DistributedDriver(std::move(distributed)).run(plan);
+      maybe_write_telemetry(args, result.telemetry);
+      return result;
     }
     const auto progress = make_progress(args, plan.cell_count());
     options.progress = progress.get();
-    return ExperimentDriver(std::move(options)).run(plan);
+    auto result = ExperimentDriver(std::move(options)).run(plan);
+    maybe_write_telemetry(args, result.telemetry);
+    return result;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     std::exit(2);

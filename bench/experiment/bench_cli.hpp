@@ -43,17 +43,38 @@ void maybe_list_catalogs_and_exit(const CliArgs& args);
 ///                  DIR against the plan fingerprint, write the canonical
 ///                  indicator CSV and reference fronts, and continue the
 ///                  bench on the merged samples
+///   --serve=PORT   elastic coordinator: listen on PORT (0 = ephemeral),
+///                  accept --workers=N worker processes (in this mode
+///                  --workers names the fleet size, not driver threads —
+///                  the coordinator runs no cells itself), pull-schedule
+///                  the plan's cells over them with failed-worker requeue
+///                  (expt::run_campaign_coordinator), and continue the
+///                  bench on the reduced samples — byte-identical to an
+///                  unsharded run.  --cost-priors=FILE (a --telemetry-out
+///                  dump) seeds the scheduling order
+///   --connect=H:P  elastic worker: join the coordinator at HOST:PORT
+///                  (retrying with backoff while it boots), compute cells
+///                  on demand, then exit 0.  Env knobs:
+///                  AEDB_NET_HEARTBEAT_MS / AEDB_NET_DEADLINE_MS /
+///                  AEDB_NET_CONNECT_ATTEMPTS tune liveness + retries, and
+///                  AEDB_ELASTIC_CELL_DELAY_MS stalls each cell (failure-
+///                  injection window for the CI kill test)
 ///   --cache-dir=D  where the CSV cache / merge artifacts live (default
 ///                  options.cache_dir, i.e. "results")
 ///   --progress[=N] live `[progress]` lines on stderr every N completed
 ///                  cells (default 1): cells-done/total, eval throughput,
-///                  per-scenario mean cell time.  Works in plain, --ranks
-///                  and --shard modes (shard feeds count the shard's own
-///                  cells); purely observational — result bytes are
-///                  identical with or without it
+///                  per-scenario mean cell time.  Works in plain, --ranks,
+///                  --shard and --serve modes (shard feeds count the
+///                  shard's own cells); purely observational — result
+///                  bytes are identical with or without it
+///   --telemetry-out=FILE  dump the run's merged telemetry snapshot via
+///                  the line codec (plain/--ranks/--merge/--serve: the
+///                  campaign-wide grid-order fold; --shard/--connect: the
+///                  executor's own cells).  Feeds --cost-priors
 /// Without any of these flags this is exactly
-/// `ExperimentDriver(options).run(plan)`.  Flag conflicts, malformed
-/// `--shard` specs and campaign/merge failures print to stderr and exit 2.
+/// `ExperimentDriver(options).run(plan)`.  The distribution modes are
+/// mutually exclusive — a conflict names the clashing pair and exits 2,
+/// as do malformed specs and campaign/merge failures.
 [[nodiscard]] ExperimentResult run_campaign_or_exit(
     const CliArgs& args, const ExperimentPlan& plan,
     ExperimentDriver::Options options);

@@ -124,6 +124,71 @@ std::vector<std::string> header_tokens(LineReader& reader, const char* key,
   return tokens;
 }
 
+/// Decodes one cell block given its already-tokenised `cell` header line;
+/// consumes the block's telemetry and point lines from `reader`.  Shared by
+/// the whole-manifest decoder and `decode_cell_result`.
+CellResult decode_cell_body(LineReader& reader,
+                            const std::vector<std::string>& tokens, bool v2,
+                            std::size_t total_cells) {
+  CellResult result;
+  result.index = to_size(tokens[1], reader.line_number, "cell index");
+  if (result.index >= total_cells) {
+    fail(reader.line_number, "cell index out of range");
+  }
+  result.record.run_seed = static_cast<std::uint64_t>(
+      to_size(tokens[2], reader.line_number, "run seed"));
+  result.record.evaluations =
+      to_size(tokens[3], reader.line_number, "evaluation count");
+  const std::size_t front_size =
+      to_size(tokens[4], reader.line_number, "front size");
+  result.record.wall_seconds =
+      to_double(tokens[5], reader.line_number, "wall seconds");
+  result.record.algorithm = tokens[6];
+  result.record.scenario = tokens[7];
+  const std::size_t telemetry_lines =
+      v2 ? to_size(tokens[8], reader.line_number, "telemetry line count") : 0;
+  for (std::size_t t = 0; t < telemetry_lines; ++t) {
+    reader.require_next("a telemetry line");
+    try {
+      telemetry::decode_snapshot_line(reader.line, result.record.telemetry);
+    } catch (const std::invalid_argument& error) {
+      fail(reader.line_number, error.what());
+    }
+  }
+  result.record.front.reserve(front_size);
+  for (std::size_t p = 0; p < front_size; ++p) {
+    reader.require_next("a 'point' line");
+    const auto point = tokens_of(reader.line);
+    if (point.size() < 4 || point[0] != "point") {
+      fail(reader.line_number,
+           std::string("expected 'point', got '") + reader.line + "'");
+    }
+    const std::size_t n_obj =
+        to_size(point[1], reader.line_number, "objective count");
+    const std::size_t n_x =
+        to_size(point[2], reader.line_number, "variable count");
+    if (point.size() != 4 + n_obj + n_x) {
+      fail(reader.line_number, "point value count mismatch");
+    }
+    moo::Solution solution;
+    solution.constraint_violation =
+        to_double(point[3], reader.line_number, "constraint violation");
+    solution.objectives.reserve(n_obj);
+    for (std::size_t i = 0; i < n_obj; ++i) {
+      solution.objectives.push_back(
+          to_double(point[4 + i], reader.line_number, "objective"));
+    }
+    solution.x.reserve(n_x);
+    for (std::size_t i = 0; i < n_x; ++i) {
+      solution.x.push_back(
+          to_double(point[4 + n_obj + i], reader.line_number, "variable"));
+    }
+    solution.evaluated = true;
+    result.record.front.push_back(std::move(solution));
+  }
+  return result;
+}
+
 }  // namespace
 
 ShardManifest make_manifest(const ExperimentPlan& plan,
@@ -158,47 +223,73 @@ std::string encode_manifest(const ShardManifest& manifest) {
         << "cells " << manifest.total_cells << '\n';
   out += shape.str();
   for (const CellResult& result : manifest.results) {
-    const RunRecord& record = result.record;
-    // v2: the cell line's trailing count announces how many telemetry
-    // lines follow it (before the points), so the decoder needs no
-    // look-ahead.
-    const std::vector<std::string> telemetry_lines =
-        telemetry::encode_snapshot(record.telemetry);
-    std::ostringstream cell;
-    cell << "cell " << result.index << ' ' << record.run_seed << ' '
-         << record.evaluations << ' ' << record.front.size() << ' ';
-    out += cell.str();
-    append_double(out, record.wall_seconds);
-    out += ' ';
-    out += checked_name(record.algorithm, "algorithm name");
-    out += ' ';
-    out += checked_name(record.scenario, "scenario key");
-    out += ' ';
-    out += std::to_string(telemetry_lines.size());
-    out += '\n';
-    for (const std::string& line : telemetry_lines) {
-      out += line;
-      out += '\n';
-    }
-    for (const moo::Solution& solution : record.front) {
-      std::ostringstream point;
-      point << "point " << solution.objectives.size() << ' '
-            << solution.x.size() << ' ';
-      out += point.str();
-      append_double(out, solution.constraint_violation);
-      for (const double f : solution.objectives) {
-        out += ' ';
-        append_double(out, f);
-      }
-      for (const double x : solution.x) {
-        out += ' ';
-        append_double(out, x);
-      }
-      out += '\n';
-    }
+    out += encode_cell_result(result);
   }
   out += "end\n";
   return out;
+}
+
+std::string encode_cell_result(const CellResult& result) {
+  const RunRecord& record = result.record;
+  // v2: the cell line's trailing count announces how many telemetry
+  // lines follow it (before the points), so the decoder needs no
+  // look-ahead.
+  const std::vector<std::string> telemetry_lines =
+      telemetry::encode_snapshot(record.telemetry);
+  std::string out;
+  std::ostringstream cell;
+  cell << "cell " << result.index << ' ' << record.run_seed << ' '
+       << record.evaluations << ' ' << record.front.size() << ' ';
+  out += cell.str();
+  append_double(out, record.wall_seconds);
+  out += ' ';
+  out += checked_name(record.algorithm, "algorithm name");
+  out += ' ';
+  out += checked_name(record.scenario, "scenario key");
+  out += ' ';
+  out += std::to_string(telemetry_lines.size());
+  out += '\n';
+  for (const std::string& line : telemetry_lines) {
+    out += line;
+    out += '\n';
+  }
+  for (const moo::Solution& solution : record.front) {
+    std::ostringstream point;
+    point << "point " << solution.objectives.size() << ' '
+          << solution.x.size() << ' ';
+    out += point.str();
+    append_double(out, solution.constraint_violation);
+    for (const double f : solution.objectives) {
+      out += ' ';
+      append_double(out, f);
+    }
+    for (const double x : solution.x) {
+      out += ' ';
+      append_double(out, x);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+CellResult decode_cell_result(const std::string& text,
+                              std::size_t total_cells) {
+  LineReader reader(text);
+  reader.require_next("a 'cell' line");
+  const auto tokens = tokens_of(reader.line);
+  if (tokens.size() != 9 || tokens[0] != "cell") {
+    fail(reader.line_number,
+         std::string("expected a v2 'cell' line, got '") + reader.line + "'");
+  }
+  CellResult result =
+      decode_cell_body(reader, tokens, /*v2=*/true, total_cells);
+  while (reader.next()) {
+    if (!reader.line.empty()) {
+      fail(reader.line_number, std::string("trailing content '") +
+                                   reader.line + "' after the cell block");
+    }
+  }
+  return result;
 }
 
 ShardManifest decode_manifest(const std::string& text) {
@@ -240,64 +331,8 @@ ShardManifest decode_manifest(const std::string& text) {
       fail(reader.line_number,
            std::string("expected 'cell' or 'end', got '") + reader.line + "'");
     }
-    CellResult result;
-    result.index = to_size(tokens[1], reader.line_number, "cell index");
-    if (result.index >= manifest.total_cells) {
-      fail(reader.line_number, "cell index out of range");
-    }
-    result.record.run_seed = static_cast<std::uint64_t>(
-        to_size(tokens[2], reader.line_number, "run seed"));
-    result.record.evaluations =
-        to_size(tokens[3], reader.line_number, "evaluation count");
-    const std::size_t front_size =
-        to_size(tokens[4], reader.line_number, "front size");
-    result.record.wall_seconds =
-        to_double(tokens[5], reader.line_number, "wall seconds");
-    result.record.algorithm = tokens[6];
-    result.record.scenario = tokens[7];
-    const std::size_t telemetry_lines =
-        v2 ? to_size(tokens[8], reader.line_number, "telemetry line count")
-           : 0;
-    for (std::size_t t = 0; t < telemetry_lines; ++t) {
-      reader.require_next("a telemetry line");
-      try {
-        telemetry::decode_snapshot_line(reader.line, result.record.telemetry);
-      } catch (const std::invalid_argument& error) {
-        fail(reader.line_number, error.what());
-      }
-    }
-    result.record.front.reserve(front_size);
-    for (std::size_t p = 0; p < front_size; ++p) {
-      reader.require_next("a 'point' line");
-      const auto point = tokens_of(reader.line);
-      if (point.size() < 4 || point[0] != "point") {
-        fail(reader.line_number,
-             std::string("expected 'point', got '") + reader.line + "'");
-      }
-      const std::size_t n_obj =
-          to_size(point[1], reader.line_number, "objective count");
-      const std::size_t n_x =
-          to_size(point[2], reader.line_number, "variable count");
-      if (point.size() != 4 + n_obj + n_x) {
-        fail(reader.line_number, "point value count mismatch");
-      }
-      moo::Solution solution;
-      solution.constraint_violation =
-          to_double(point[3], reader.line_number, "constraint violation");
-      solution.objectives.reserve(n_obj);
-      for (std::size_t i = 0; i < n_obj; ++i) {
-        solution.objectives.push_back(
-            to_double(point[4 + i], reader.line_number, "objective"));
-      }
-      solution.x.reserve(n_x);
-      for (std::size_t i = 0; i < n_x; ++i) {
-        solution.x.push_back(
-            to_double(point[4 + n_obj + i], reader.line_number, "variable"));
-      }
-      solution.evaluated = true;
-      result.record.front.push_back(std::move(solution));
-    }
-    manifest.results.push_back(std::move(result));
+    manifest.results.push_back(
+        decode_cell_body(reader, tokens, v2, manifest.total_cells));
   }
   return manifest;
 }

@@ -60,6 +60,20 @@ struct ShardManifest {
 /// Serialises the manifest (format v2 above).
 [[nodiscard]] std::string encode_manifest(const ShardManifest& manifest);
 
+/// Serialises one cell result as a self-contained v2 cell block — the
+/// `cell` header line followed by its telemetry and `point` lines, exactly
+/// as it appears inside a manifest.  This is the unit the elastic campaign
+/// service ships over the wire (`result` messages) and appends to its
+/// crash-resume journal; decoding it back yields a bitwise-identical
+/// record (`%.17g` doubles).
+[[nodiscard]] std::string encode_cell_result(const CellResult& result);
+
+/// Parses one cell block produced by `encode_cell_result`.  `total_cells`
+/// bounds the cell index (pass `plan.cell_count()`).  Throws
+/// std::invalid_argument on anything malformed, truncated, or trailing.
+[[nodiscard]] CellResult decode_cell_result(const std::string& text,
+                                            std::size_t total_cells);
+
 /// Parses a manifest in format v2 or v1 (the version line says which).
 /// Throws std::invalid_argument with a line-level description on anything
 /// malformed or truncated.

@@ -1,0 +1,91 @@
+#include "par/net/frame.hpp"
+
+#include <stdexcept>
+
+namespace aedbmls::par::net {
+namespace {
+
+bool known_type(std::uint8_t type) {
+  return type >= static_cast<std::uint8_t>(FrameType::kHello) &&
+         type <= static_cast<std::uint8_t>(FrameType::kBye);
+}
+
+}  // namespace
+
+std::string encode_frame(FrameType type, std::string_view payload) {
+  if (payload.size() > 0xFFFFFFFFull) {
+    throw std::length_error("frame payload exceeds the u32 length prefix");
+  }
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  out.push_back(static_cast<char>(static_cast<std::uint8_t>(type)));
+  out.push_back(static_cast<char>((length >> 24) & 0xFF));
+  out.push_back(static_cast<char>((length >> 16) & 0xFF));
+  out.push_back(static_cast<char>((length >> 8) & 0xFF));
+  out.push_back(static_cast<char>(length & 0xFF));
+  out.append(payload);
+  return out;
+}
+
+void FrameDecoder::validate_header() {
+  if (buffer_.size() < kFrameHeaderBytes) return;
+  const auto type = static_cast<std::uint8_t>(buffer_[0]);
+  if (!known_type(type)) {
+    poisoned_ = true;
+    throw std::invalid_argument("unknown frame type " + std::to_string(type));
+  }
+  const std::uint32_t length =
+      (static_cast<std::uint32_t>(static_cast<std::uint8_t>(buffer_[1]))
+       << 24) |
+      (static_cast<std::uint32_t>(static_cast<std::uint8_t>(buffer_[2]))
+       << 16) |
+      (static_cast<std::uint32_t>(static_cast<std::uint8_t>(buffer_[3]))
+       << 8) |
+      static_cast<std::uint32_t>(static_cast<std::uint8_t>(buffer_[4]));
+  if (length > max_payload_bytes_) {
+    poisoned_ = true;
+    throw std::invalid_argument(
+        "frame length " + std::to_string(length) + " exceeds the " +
+        std::to_string(max_payload_bytes_) + "-byte ceiling");
+  }
+}
+
+void FrameDecoder::feed(std::string_view bytes) {
+  if (poisoned_) {
+    throw std::invalid_argument(
+        "frame decoder poisoned by an earlier framing error");
+  }
+  const bool header_was_incomplete = buffer_.size() < kFrameHeaderBytes;
+  buffer_.append(bytes);
+  // Validate as soon as the header is visible, not when the payload
+  // completes: garbage is reported at the first possible moment.
+  if (header_was_incomplete) validate_header();
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  if (poisoned_) {
+    throw std::invalid_argument(
+        "frame decoder poisoned by an earlier framing error");
+  }
+  if (buffer_.size() < kFrameHeaderBytes) return std::nullopt;
+  const std::uint32_t length =
+      (static_cast<std::uint32_t>(static_cast<std::uint8_t>(buffer_[1]))
+       << 24) |
+      (static_cast<std::uint32_t>(static_cast<std::uint8_t>(buffer_[2]))
+       << 16) |
+      (static_cast<std::uint32_t>(static_cast<std::uint8_t>(buffer_[3]))
+       << 8) |
+      static_cast<std::uint32_t>(static_cast<std::uint8_t>(buffer_[4]));
+  if (buffer_.size() < kFrameHeaderBytes + length) return std::nullopt;
+  Frame frame;
+  frame.type = static_cast<FrameType>(static_cast<std::uint8_t>(buffer_[0]));
+  frame.payload = buffer_.substr(kFrameHeaderBytes, length);
+  buffer_.erase(0, kFrameHeaderBytes + length);
+  // The next frame's header may already be buffered — validate it now so
+  // mid-stream garbage surfaces on this call, not a later feed().
+  validate_header();
+  return frame;
+}
+
+}  // namespace aedbmls::par::net

@@ -1,0 +1,77 @@
+#pragma once
+
+/// Length-prefixed byte frames — the wire unit of `par::net` transports.
+///
+/// A frame is `[type:u8][length:u32 big-endian][payload:length bytes]`.
+/// The type byte distinguishes application payloads from the transport's
+/// own control traffic (handshake, heartbeats, goodbye), so a byte stream
+/// multiplexes both without the application layer ever seeing control
+/// frames.  The decoder is incremental — feed it whatever `recv()`
+/// returned, poll complete frames out — and defensive: an unknown type
+/// byte or a length prefix beyond the configured ceiling throws instead of
+/// allocating attacker-controlled gigabytes or silently resynchronising on
+/// garbage.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace aedbmls::par::net {
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,      ///< worker -> coordinator: protocol magic + version
+  kWelcome = 2,    ///< coordinator -> worker: assigned rank + world size
+  kData = 3,       ///< application payload
+  kHeartbeat = 4,  ///< liveness beacon (empty payload)
+  kBye = 5,        ///< graceful close announcement
+};
+
+struct Frame {
+  FrameType type = FrameType::kData;
+  std::string payload;
+};
+
+/// Bytes of the fixed header preceding every payload.
+inline constexpr std::size_t kFrameHeaderBytes = 5;
+
+/// Serialises one frame.  Throws std::length_error when the payload does
+/// not fit the u32 length prefix.
+[[nodiscard]] std::string encode_frame(FrameType type,
+                                       std::string_view payload);
+
+/// Incremental frame parser over an in-order byte stream.
+class FrameDecoder {
+ public:
+  /// Frames whose length prefix exceeds `max_payload_bytes` are rejected —
+  /// a garbage or hostile prefix must not turn into a giant allocation.
+  static constexpr std::size_t kDefaultMaxPayloadBytes =
+      std::size_t{256} << 20;  // 256 MiB
+
+  explicit FrameDecoder(
+      std::size_t max_payload_bytes = kDefaultMaxPayloadBytes)
+      : max_payload_bytes_(max_payload_bytes) {}
+
+  /// Appends received bytes.  Throws std::invalid_argument as soon as a
+  /// malformed header (unknown type, oversized length) is visible; the
+  /// decoder is then poisoned and every further call throws — a framing
+  /// error is unrecoverable on an in-order stream.
+  void feed(std::string_view bytes);
+
+  /// Next complete frame, or nullopt when more bytes are needed.
+  [[nodiscard]] std::optional<Frame> next();
+
+  /// True while a frame is partially buffered.  At connection EOF this
+  /// distinguishes a clean boundary from a truncated frame.
+  [[nodiscard]] bool mid_frame() const noexcept { return !buffer_.empty(); }
+
+ private:
+  void validate_header();
+
+  std::size_t max_payload_bytes_;
+  std::string buffer_;
+  bool poisoned_ = false;
+};
+
+}  // namespace aedbmls::par::net

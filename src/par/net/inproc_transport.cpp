@@ -1,0 +1,84 @@
+#include "par/net/transport.hpp"
+
+#include <atomic>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "par/mailbox.hpp"
+
+namespace aedbmls::par::net {
+
+struct InProcWorld::Shared {
+  explicit Shared(std::size_t size) : inboxes(size) {
+    for (auto& inbox : inboxes) {
+      inbox = std::make_unique<Mailbox<Message>>();
+    }
+  }
+  std::vector<std::unique_ptr<Mailbox<Message>>> inboxes;
+};
+
+namespace {
+
+class InProcTransport final : public Transport {
+ public:
+  InProcTransport(std::shared_ptr<InProcWorld::Shared> shared,
+                  std::size_t rank)
+      : shared_(std::move(shared)), rank_(rank) {}
+
+  ~InProcTransport() override { close(); }
+
+  [[nodiscard]] std::size_t rank() const override { return rank_; }
+
+  [[nodiscard]] std::size_t world_size() const override {
+    return shared_->inboxes.size();
+  }
+
+  bool send(std::size_t to, std::string payload) override {
+    AEDB_REQUIRE(to < world_size(), "rank out of range");
+    return shared_->inboxes[to]->send(
+        Message{Message::Kind::kData, rank_, std::move(payload)});
+  }
+
+  [[nodiscard]] std::optional<Message> recv() override {
+    return shared_->inboxes[rank_]->recv();
+  }
+
+  void close() override {
+    if (closed_.exchange(true)) return;
+    // Departure first, then close our own inbox: a peer that observes the
+    // kPeerLeft can no longer reach us, exactly like a dead socket.
+    for (std::size_t r = 0; r < world_size(); ++r) {
+      if (r == rank_) continue;
+      shared_->inboxes[r]->send(Message{Message::Kind::kPeerLeft, rank_,
+                                        "endpoint closed"});
+    }
+    shared_->inboxes[rank_]->close();
+  }
+
+ private:
+  std::shared_ptr<InProcWorld::Shared> shared_;
+  std::size_t rank_;
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace
+
+InProcWorld::InProcWorld(std::size_t size)
+    : shared_(std::make_shared<Shared>(size)) {
+  AEDB_REQUIRE(size >= 1, "InProcWorld needs at least one rank");
+  endpoints_.reserve(size);
+  for (std::size_t r = 0; r < size; ++r) {
+    endpoints_.push_back(std::make_unique<InProcTransport>(shared_, r));
+  }
+}
+
+InProcWorld::~InProcWorld() = default;
+
+std::size_t InProcWorld::size() const noexcept { return endpoints_.size(); }
+
+Transport& InProcWorld::endpoint(std::size_t rank) {
+  AEDB_REQUIRE(rank < endpoints_.size(), "rank out of range");
+  return *endpoints_[rank];
+}
+
+}  // namespace aedbmls::par::net
