@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/fault.hpp"
 #include "common/telemetry.hpp"
 #include "par/net/tcp_transport.hpp"
 
@@ -202,6 +203,22 @@ ExperimentResult run_campaign_or_exit(const CliArgs& args,
                                       const ExperimentPlan& plan,
                                       ExperimentDriver::Options options) {
   if (args.has("cache-dir")) options.cache_dir = args.get("cache-dir");
+  // Chaos drills: `--fault-plan=SPEC` wins over AEDB_FAULT_PLAN (see
+  // common/fault.hpp for the grammar and EXPERIMENTS.md for the drills).
+  try {
+    if (args.has("fault-plan")) {
+      fault::configure(args.get("fault-plan"));
+    } else {
+      fault::configure_from_env();
+    }
+  } catch (const std::invalid_argument& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    std::exit(2);
+  }
+  if (fault::active()) {
+    std::fprintf(stderr, "[fault] plan active: %s\n",
+                 fault::describe().c_str());
+  }
   const bool shard_mode = args.has("shard");
   const bool merge_mode = args.has("merge");
   const bool ranks_mode = args.has("ranks");
@@ -288,8 +305,16 @@ ExperimentResult run_campaign_or_exit(const CliArgs& args,
       std::printf("[connect] joined %s:%u as rank %zu of %zu\n", host.c_str(),
                   port, transport->rank(), transport->world_size());
       std::fflush(stdout);
-      const WorkerReport report =
-          run_campaign_worker(plan, *transport, worker);
+      WorkerReport report;
+      try {
+        report = run_campaign_worker(plan, *transport, worker);
+      } catch (const CoordinatorLostError& error) {
+        // Distinct exit status: a lost coordinator is an orchestration
+        // failure (restart the coordinator, workers reconnect), not a bad
+        // invocation (exit 2) or a worker bug.
+        std::fprintf(stderr, "error: %s\n", error.what());
+        std::exit(3);
+      }
       std::printf("[connect] completed %zu cells; coordinator released this "
                   "worker\n",
                   report.cells_completed);

@@ -71,10 +71,19 @@ void maybe_list_catalogs_and_exit(const CliArgs& args);
 ///                  the line codec (plain/--ranks/--merge/--serve: the
 ///                  campaign-wide grid-order fold; --shard/--connect: the
 ///                  executor's own cells).  Feeds --cost-priors
+///   --fault-plan=SPEC  chaos drills: install a seeded deterministic
+///                  fault-injection plan (grammar in common/fault.hpp,
+///                  drills in EXPERIMENTS.md "Fault drills & chaos
+///                  testing").  Falls back to the AEDB_FAULT_PLAN env var;
+///                  a malformed spec exits 2
 /// Without any of these flags this is exactly
 /// `ExperimentDriver(options).run(plan)`.  The distribution modes are
 /// mutually exclusive — a conflict names the clashing pair and exits 2,
-/// as do malformed specs and campaign/merge failures.
+/// as do malformed specs and campaign/merge failures.  Exit statuses: 0
+/// success, 2 bad invocation or failed campaign, 3 (--connect only) the
+/// coordinator vanished — missed heartbeat deadline or dead connection
+/// (expt::CoordinatorLostError) — so supervisors can tell "restart the
+/// coordinator" from "fix the command line".
 [[nodiscard]] ExperimentResult run_campaign_or_exit(
     const CliArgs& args, const ExperimentPlan& plan,
     ExperimentDriver::Options options);

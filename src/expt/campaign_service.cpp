@@ -14,13 +14,18 @@
 #include <utility>
 #include <vector>
 
+#include "common/durable_file.hpp"
+#include "common/fault.hpp"
 #include "common/logging.hpp"
 #include "expt/manifest.hpp"
 
 namespace aedbmls::expt {
 namespace {
 
-constexpr const char* kJournalMagic = "aedbmls-campaign-journal v1";
+// v2: every cell block is followed by a `crc <8 hex>` line; v1 journals
+// (no per-record checksums) read as stale and replay nothing.
+constexpr const char* kJournalMagic = "aedbmls-campaign-journal v2";
+constexpr const char* kJournalCrcPrefix = "crc ";
 
 std::string fingerprint_hex(std::uint64_t fingerprint) {
   char buffer[32];
@@ -57,9 +62,24 @@ bool matches_cell(const RunRecord& record, const ExperimentPlan::Cell& cell) {
          record.scenario == cell.scenario && record.run_seed == cell.seed;
 }
 
-/// Replays a crash-resume journal.  Tolerant by design: a missing file, a
-/// stale header, or a torn tail (the coordinator died mid-append) yields
-/// the valid prefix, never an error — the cells simply run again.
+std::string journal_header(const std::string& fp_hex, std::size_t cell_count) {
+  return std::string(kJournalMagic) + " " + fp_hex + " " +
+         std::to_string(cell_count);
+}
+
+/// One committed journal record: the cell block plus its CRC line.  A
+/// record is only replayed once the CRC line verifies, so a crash at any
+/// byte offset leaves a cleanly detectable torn tail.
+std::string journal_record(const CellResult& result) {
+  const std::string block = encode_cell_result(result);
+  return block + kJournalCrcPrefix + io::crc32_hex(block) + "\n";
+}
+
+/// Replays a crash-resume journal.  Tolerant by design: a missing file, an
+/// empty file, a stale/wrong-fingerprint header, a bit-flipped record or a
+/// torn tail (the coordinator died mid-append) all yield the valid prefix
+/// of CRC-verified records, never an error — the lost cells simply run
+/// again.
 std::vector<CellResult> load_journal(
     const std::string& path, const std::string& fp_hex,
     const std::vector<ExperimentPlan::Cell>& cells) {
@@ -68,48 +88,55 @@ std::vector<CellResult> load_journal(
   std::istringstream in(text);
   std::string line;
   if (!std::getline(in, line)) return {};
-  const std::string header = std::string(kJournalMagic) + " " + fp_hex + " " +
-                             std::to_string(cells.size());
-  if (line != header) {
+  if (line != journal_header(fp_hex, cells.size())) {
     log_warn("elastic: ignoring stale journal ", path, " (header '", line,
              "')");
     return {};
   }
-  // Blocks start at "cell " lines; everything between belongs to the
-  // preceding block.
+  // Records accumulate until their `crc` line; a record is committed only
+  // when the checksum verifies and the decoded cell matches the plan.
   std::vector<CellResult> replayed;
   std::vector<bool> seen(cells.size(), false);
   std::string block;
-  auto flush_block = [&]() -> bool {
-    if (block.empty()) return true;
+  bool intact = true;
+  while (intact && std::getline(in, line)) {
+    if (line.rfind(kJournalCrcPrefix, 0) != 0) {
+      block += line;
+      block += '\n';
+      continue;
+    }
+    if (line.substr(4) != io::crc32_hex(block)) {
+      intact = false;
+      break;
+    }
     try {
       CellResult result = decode_cell_result(block, cells.size());
       if (seen[result.index] ||
           !matches_cell(result.record, cells[result.index])) {
-        return false;
+        intact = false;
+        break;
       }
       seen[result.index] = true;
       replayed.push_back(std::move(result));
       block.clear();
-      return true;
     } catch (const std::invalid_argument&) {
-      return false;
+      intact = false;
     }
-  };
-  while (std::getline(in, line)) {
-    if (line.rfind("cell ", 0) == 0 && !flush_block()) break;
-    block += line;
-    block += '\n';
   }
-  if (!flush_block()) {
+  if (!intact || !block.empty()) {
     log_warn("elastic: journal ", path,
-             " has a torn tail; replaying the valid prefix (",
+             " has a torn or corrupt tail; replaying the valid prefix (",
              replayed.size(), " cells)");
   }
   return replayed;
 }
 
 }  // namespace
+
+std::vector<CellResult> load_campaign_journal(const std::string& path,
+                                              const ExperimentPlan& plan) {
+  return load_journal(path, fingerprint_hex(plan.fingerprint()), plan.cells());
+}
 
 std::map<std::string, double> cost_priors_from_snapshot(
     const telemetry::Snapshot& snapshot) {
@@ -188,7 +215,8 @@ ExperimentResult run_campaign_coordinator(
   };
 
   // Crash-resume journal: replay the valid prefix, then rewrite the file
-  // so a torn tail never survives into the next crash.
+  // (atomically — a crash during the rewrite must leave either the old
+  // journal or the clean new one, never a prefix of the latter).
   const bool journaling =
       !result.from_cache && options.journal && driver.use_cache;
   const std::string journal_path =
@@ -196,27 +224,22 @@ ExperimentResult run_campaign_coordinator(
   std::ofstream journal;
   if (journaling) {
     std::size_t replayed = 0;
+    std::string rewrite = journal_header(fp_hex, cells.size()) + "\n";
     for (CellResult& prior : load_journal(journal_path, fp_hex, cells)) {
       cell_done[prior.index] = true;
       ++done_count;
       ++replayed;
       observe_cost(prior.record);
       if (driver.progress) driver.progress->cell_done(prior.record.telemetry);
+      rewrite += journal_record(prior);
       records[prior.index] = std::move(prior.record);
     }
     std::error_code ec;
     std::filesystem::create_directories(driver.cache_dir, ec);
-    journal.open(journal_path, std::ios::trunc | std::ios::binary);
-    if (journal) {
-      journal << kJournalMagic << ' ' << fp_hex << ' ' << cells.size()
-              << '\n';
-      for (std::size_t i = 0; i < cells.size(); ++i) {
-        if (cell_done[i]) {
-          journal << encode_cell_result(CellResult{i, records[i]});
-        }
-      }
-      journal.flush();
-    } else {
+    if (io::atomic_write_file(journal_path, rewrite)) {
+      journal.open(journal_path, std::ios::app | std::ios::binary);
+    }
+    if (!journal) {
       log_warn("elastic: cannot write journal ", journal_path,
                "; crash resume disabled for this run");
     }
@@ -294,6 +317,40 @@ ExperimentResult run_campaign_coordinator(
     transport.send(worker, "cell " + std::to_string(index));
   };
 
+  // Shared exit for every way a worker can fail: connection death
+  // (kPeerLeft) and protocol violations (malformed/contradictory result,
+  // unexpected message).  The in-flight cell is requeued onto a survivor;
+  // only losing every worker fails the campaign.
+  auto abandon_worker = [&](std::size_t worker, const std::string& reason,
+                            bool send_reject) {
+    const auto assignment = in_flight.find(worker);
+    if (assignment != in_flight.end()) {
+      const std::size_t index = assignment->second;
+      in_flight.erase(assignment);
+      pending.insert(index);
+      log_warn("elastic: worker ", worker, " failed (", reason,
+               "); requeueing cell ", index);
+      // Hand the orphan to a parked survivor immediately.
+      for (std::size_t other = 1; other < state.size(); ++other) {
+        if (state[other] == WorkerState::kParked) {
+          dispatch(other);
+          break;
+        }
+      }
+    } else {
+      log_warn("elastic: worker ", worker, " failed (", reason, ")");
+    }
+    if (send_reject) transport.send(worker, "reject " + reason);
+    resolve(worker, WorkerState::kGone);
+    if (gone == expected_workers && !complete()) {
+      throw std::runtime_error(
+          "elastic campaign failed: all " + std::to_string(expected_workers) +
+          " workers departed with " +
+          std::to_string(cells.size() - done_count) + " of " +
+          std::to_string(cells.size()) + " cells incomplete");
+    }
+  };
+
   while (!(complete() && resolved == expected_workers)) {
     auto message = transport.recv();
     if (!message) {
@@ -303,29 +360,7 @@ ExperimentResult run_campaign_coordinator(
     const std::size_t worker = message->from;
 
     if (message->kind == par::net::Message::Kind::kPeerLeft) {
-      const auto assignment = in_flight.find(worker);
-      if (assignment != in_flight.end()) {
-        const std::size_t index = assignment->second;
-        in_flight.erase(assignment);
-        pending.insert(index);
-        log_warn("elastic: worker ", worker, " left (", message->payload,
-                 "); requeueing cell ", index);
-        // Hand the orphan to a parked survivor immediately.
-        for (std::size_t other = 1; other < state.size(); ++other) {
-          if (state[other] == WorkerState::kParked) {
-            dispatch(other);
-            break;
-          }
-        }
-      }
-      resolve(worker, WorkerState::kGone);
-      if (gone == expected_workers && !complete()) {
-        throw std::runtime_error(
-            "elastic campaign failed: all " +
-            std::to_string(expected_workers) + " workers departed with " +
-            std::to_string(cells.size() - done_count) + " of " +
-            std::to_string(cells.size()) + " cells incomplete");
-      }
+      abandon_worker(worker, message->payload, false);
       continue;
     }
 
@@ -348,29 +383,36 @@ ExperimentResult run_campaign_coordinator(
     }
 
     if (payload.rfind("result ", 0) == 0) {
-      const std::size_t newline = payload.find('\n');
-      if (newline == std::string::npos) {
-        throw std::runtime_error(
-            "elastic coordinator: result message without a cell block");
+      // A bad result — unparseable, unassigned, or contradicting the plan
+      // — marks the *worker* failed (its bytes cannot be trusted), never
+      // the campaign: the cell is requeued and recomputed elsewhere.
+      CellResult cell_result;
+      std::size_t index = 0;
+      try {
+        const std::size_t newline = payload.find('\n');
+        if (newline == std::string::npos) {
+          throw std::runtime_error("result message without a cell block");
+        }
+        index = parse_index(payload.substr(7, newline - 7), "result index");
+        const auto assignment = in_flight.find(worker);
+        if (assignment == in_flight.end() || assignment->second != index) {
+          throw std::runtime_error("returned cell " + std::to_string(index) +
+                                   " it was not assigned");
+        }
+        cell_result =
+            decode_cell_result(payload.substr(newline + 1), cells.size());
+        if (cell_result.index != index ||
+            !matches_cell(cell_result.record, cells[index])) {
+          throw std::runtime_error("cell " + std::to_string(index) +
+                                   " result contradicts the plan's cell "
+                                   "table");
+        }
+      } catch (const std::exception& error) {
+        abandon_worker(worker, std::string("bad result: ") + error.what(),
+                       true);
+        continue;
       }
-      const std::size_t index =
-          parse_index(payload.substr(7, newline - 7), "result index");
-      const auto assignment = in_flight.find(worker);
-      if (assignment == in_flight.end() || assignment->second != index) {
-        throw std::runtime_error(
-            "elastic coordinator: worker " + std::to_string(worker) +
-            " returned cell " + std::to_string(index) +
-            " it was not assigned");
-      }
-      CellResult cell_result =
-          decode_cell_result(payload.substr(newline + 1), cells.size());
-      if (cell_result.index != index ||
-          !matches_cell(cell_result.record, cells[index])) {
-        throw std::runtime_error(
-            "elastic coordinator: cell " + std::to_string(index) +
-            " result contradicts the plan's cell table");
-      }
-      in_flight.erase(assignment);
+      in_flight.erase(worker);
       cell_done[index] = true;
       ++done_count;
       observe_cost(cell_result.record);
@@ -378,8 +420,19 @@ ExperimentResult run_campaign_coordinator(
         driver.progress->cell_done(cell_result.record.telemetry);
       }
       if (journal) {
-        journal << encode_cell_result(cell_result);
-        journal.flush();
+        const std::string record = journal_record(cell_result);
+        if (fault::fire("io.journal.torn_tail")) {
+          // Persist half a record then stop journaling — the next startup
+          // must truncate to the valid prefix.
+          journal << record.substr(0, record.size() / 2);
+          journal.flush();
+          journal.close();
+          log_warn("fault: tore the journal tail at cell ", index,
+                   "; journaling stops for this run");
+        } else {
+          journal << record;
+          journal.flush();
+        }
       }
       records[index] = std::move(cell_result.record);
       if (complete()) {
@@ -394,10 +447,10 @@ ExperimentResult run_campaign_coordinator(
       continue;
     }
 
-    throw std::runtime_error(
-        "elastic coordinator: unexpected message from worker " +
-        std::to_string(worker) + ": '" +
-        payload.substr(0, payload.find('\n')) + "'");
+    abandon_worker(worker,
+                   "unexpected message '" +
+                       payload.substr(0, payload.find('\n')) + "'",
+                   true);
   }
 
   if (!result.from_cache) {
@@ -408,8 +461,10 @@ ExperimentResult run_campaign_coordinator(
     }
     if (driver.collect_records) result.records = std::move(records);
   }
-  if (journal.is_open()) {
-    journal.close();
+  if (journaling) {
+    // Every cell completed, so the journal is spent — even one whose
+    // append path failed or was torn mid-run.
+    if (journal.is_open()) journal.close();
     std::error_code ec;
     std::filesystem::remove(journal_path, ec);
   }
@@ -433,7 +488,7 @@ WorkerReport run_campaign_worker(const ExperimentPlan& plan,
   const ExperimentDriver driver(cell_options);
 
   if (!transport.send(0, "ready " + fingerprint_hex(plan.fingerprint()))) {
-    throw std::runtime_error(
+    throw CoordinatorLostError(
         "elastic worker: coordinator unreachable at handshake");
   }
 
@@ -445,8 +500,11 @@ WorkerReport run_campaign_worker(const ExperimentPlan& plan,
     }
     if (message->kind == par::net::Message::Kind::kPeerLeft) {
       if (message->from == 0) {
-        throw std::runtime_error("elastic worker: coordinator lost (" +
-                                 message->payload + ")");
+        // Missed heartbeat deadline or dead connection: surface a typed
+        // error so the process can exit with a distinct status instead of
+        // hanging on a queue that will never drain.
+        throw CoordinatorLostError("elastic worker: coordinator lost (" +
+                                   message->payload + ")");
       }
       continue;  // a sibling left an in-process world; not our concern
     }
@@ -466,10 +524,9 @@ WorkerReport run_campaign_worker(const ExperimentPlan& plan,
         std::filesystem::create_directories(options.driver.cache_dir, ec);
         const std::string path =
             indicator_csv_path(options.driver.cache_dir, plan);
-        std::ofstream out(path, std::ios::trunc | std::ios::binary);
-        out << payload.substr(5);
-        out.flush();
-        if (!out) log_warn("elastic: cannot warm cache file ", path);
+        if (!io::atomic_write_file(path, payload.substr(5))) {
+          log_warn("elastic: cannot warm cache file ", path);
+        }
       }
       continue;
     }
@@ -491,13 +548,18 @@ WorkerReport run_campaign_worker(const ExperimentPlan& plan,
       if (options.cell_delay.count() > 0) {
         std::this_thread::sleep_for(options.cell_delay);
       }
+      double stall_ms = 0.0;
+      if (fault::fire("cell.stall_ms", stall_ms) && stall_ms > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(static_cast<std::int64_t>(stall_ms)));
+      }
       auto run_records = driver.run_cells(plan, {cells[index]});
       CellResult cell_result{index, std::move(run_records.front())};
       report.telemetry.merge(cell_result.record.telemetry);
       ++report.cells_completed;
       if (!transport.send(0, "result " + std::to_string(index) + "\n" +
                                  encode_cell_result(cell_result))) {
-        throw std::runtime_error(
+        throw CoordinatorLostError(
             "elastic worker: coordinator unreachable mid-campaign");
       }
       continue;

@@ -39,16 +39,43 @@
 /// completed cell (append + flush) to `campaign_journal_path(...)`; a
 /// restarted coordinator replays the journal and schedules only the
 /// remainder.  The journal is deleted on successful completion.
+///
+/// Durability (journal format v2): each appended cell block is followed by
+/// a `crc <8 hex>` line checksumming it, and the startup rewrite goes
+/// through an atomic tmp+rename.  `load_campaign_journal` commits a block
+/// only once its CRC line verifies, so a torn tail, a bit-flipped record,
+/// a stale/wrong-fingerprint header or an empty file all degrade to
+/// replaying the valid prefix (with a warning) — never an error, never
+/// silently trusting corrupt bytes.
+///
+/// Fault tolerance: a worker that sends a malformed or contradictory
+/// result (or any unexpected message) is rejected and its in-flight cell
+/// requeued — only losing *every* worker fails the campaign.  Fault
+/// drills for all of these paths live behind `common/fault.hpp` plans
+/// (`net.frame.*`, `io.journal.torn_tail`, `cell.stall_ms`, ...); see
+/// EXPERIMENTS.md "Fault drills & chaos testing".
 
 #include <cstdint>
 #include <map>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "common/telemetry.hpp"
+#include "expt/distributed_driver.hpp"  // CellResult
 #include "expt/experiment.hpp"
 #include "par/net/transport.hpp"
 
 namespace aedbmls::expt {
+
+/// Thrown by `run_campaign_worker` when the coordinator vanishes — missed
+/// heartbeat deadline, closed connection, or unreachable at handshake.
+/// Distinct from plain std::runtime_error so callers can exit with a
+/// dedicated status (the campaign benches exit 3; see bench_cli.hpp).
+class CoordinatorLostError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 struct CampaignCoordinatorOptions {
   /// Reduction/cache behaviour (cache_dir, use_cache, collect_records,
@@ -100,11 +127,20 @@ struct WorkerReport {
     const CampaignCoordinatorOptions& options);
 
 /// Runs the worker (rank >= 1) side: pulls cells until the coordinator
-/// says `done`.  Throws std::runtime_error when the coordinator rejects
-/// the handshake (plan fingerprint mismatch) or disappears.
+/// says `done`.  Throws CoordinatorLostError when the coordinator
+/// disappears (heartbeat deadline, dead connection) and plain
+/// std::runtime_error when it rejects the handshake (plan fingerprint
+/// mismatch) or this worker.
 [[nodiscard]] WorkerReport run_campaign_worker(
     const ExperimentPlan& plan, par::net::Transport& transport,
     const CampaignWorkerOptions& options);
+
+/// Replays the crash-resume journal at `path` for `plan`, returning the
+/// valid prefix of CRC-verified cell results (empty on a missing file or
+/// a header that does not match the plan).  Exposed for adversarial
+/// testing; the coordinator calls it on startup.
+[[nodiscard]] std::vector<CellResult> load_campaign_journal(
+    const std::string& path, const ExperimentPlan& plan);
 
 /// Extracts per-scenario expected wall seconds (gauge mean of
 /// `scenario.<key>.wall_s`) from a telemetry snapshot — feed a previous

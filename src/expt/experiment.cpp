@@ -9,6 +9,8 @@
 #include <stdexcept>
 
 #include "aedb/tuning_problem.hpp"
+#include "common/durable_file.hpp"
+#include "common/fault.hpp"
 #include "common/logging.hpp"
 #include "common/rng.hpp"
 #include "moo/core/dominance.hpp"
@@ -64,18 +66,27 @@ RunRecord run_cell(const std::string& algorithm, const std::string& scenario,
   return record;
 }
 
-/// Parses a cache CSV; nullopt when the file is missing or malformed (a
-/// bench killed mid-write leaves a truncated file — recompute, don't crash
-/// or trust partial data).
+/// Parses a cache CSV; nullopt when the file is missing, malformed, or
+/// fails its CRC32 trailer (a bench killed mid-write or a corrupted byte
+/// must mean recompute — never crash or trust partial data).  Files
+/// without a trailer (written before checksums landed) still load.
 std::optional<std::vector<IndicatorSample>> parse_cache_file(
     const std::string& path) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) return std::nullopt;
+  std::ostringstream slurp;
+  slurp << in.rdbuf();
+  std::string text = std::move(slurp).str();
+  if (io::strip_crc_trailer(text) == io::CrcCheck::kMismatch) {
+    log_warn("cache ", path, " fails its crc32 trailer; recomputing");
+    return std::nullopt;
+  }
+  std::istringstream rows(text);
   std::vector<IndicatorSample> samples;
   std::string line;
-  std::getline(in, line);  // header
+  std::getline(rows, line);  // header
   try {
-    while (std::getline(in, line)) {
+    while (std::getline(rows, line)) {
       if (line.empty()) continue;
       std::istringstream row(line);
       IndicatorSample s;
@@ -289,9 +300,16 @@ void store_cached_samples(const std::string& dir, const ExperimentPlan& plan,
                           const std::vector<IndicatorSample>& samples) {
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
-  std::ofstream out(indicator_csv_path(dir, plan), std::ios::trunc);
-  if (!out) return;
-  out << indicator_csv(samples);
+  const std::string path = indicator_csv_path(dir, plan);
+  if (fault::fire("io.cache.write_fail")) {
+    log_warn("fault: skipping cache write ", path);
+    return;
+  }
+  // Checksummed + atomic: a crash mid-store leaves the previous cache (or
+  // none), and a torn/corrupt file can never load as real results.
+  if (!io::atomic_write_file(path, io::with_crc_trailer(indicator_csv(samples)))) {
+    log_warn("cannot write cache ", path, "; campaign results are unaffected");
+  }
 }
 
 std::vector<RunRecord> ExperimentDriver::run_cells(

@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/durable_file.hpp"
 #include "common/telemetry.hpp"
 #include "moo/core/front_io.hpp"
 
@@ -350,11 +351,10 @@ std::string write_manifest(const std::string& dir,
   std::filesystem::create_directories(dir, ec);
   const std::string path =
       dir + "/" + manifest_filename(manifest.shard_index, manifest.shard_count);
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) {
-    throw std::runtime_error("cannot write manifest " + path);
-  }
-  out << encode_manifest(manifest);
+  // Atomic + checksummed: a merge must never see half a shard.  The CRC
+  // trailer rides after the `end` line, which v2 decoders ignore.
+  io::atomic_write_file_or_throw(
+      path, io::with_crc_trailer(encode_manifest(manifest)));
   return path;
 }
 
@@ -378,14 +378,22 @@ std::vector<ShardManifest> load_manifests(const std::string& dir) {
   std::vector<ShardManifest> manifests;
   manifests.reserve(paths.size());
   for (const fs::path& path : paths) {
-    std::ifstream in(path);
-    std::ostringstream text;
-    text << in.rdbuf();
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream slurp;
+    slurp << in.rdbuf();
     if (!in) {
       throw std::invalid_argument("cannot read manifest " + path.string());
     }
+    std::string text = std::move(slurp).str();
+    // Named rejection, never silent acceptance: a manifest whose bytes no
+    // longer match its trailer must stop the merge, not feed it garbage.
+    if (io::strip_crc_trailer(text) == io::CrcCheck::kMismatch) {
+      throw std::invalid_argument(path.string() +
+                                  ": crc32 trailer mismatch (corrupt shard "
+                                  "manifest; regenerate this shard)");
+    }
     try {
-      manifests.push_back(decode_manifest(text.str()));
+      manifests.push_back(decode_manifest(text));
     } catch (const std::invalid_argument& error) {
       throw std::invalid_argument(path.string() + ": " + error.what());
     }
@@ -460,12 +468,7 @@ namespace {
 /// whole point of the merge — a silent write failure would let the caller
 /// report success for files that do not exist.
 void write_file_or_throw(const std::string& path, const std::string& bytes) {
-  std::ofstream out(path, std::ios::trunc);
-  out << bytes;
-  out.flush();
-  if (!out) {
-    throw std::runtime_error("cannot write merge artifact " + path);
-  }
+  io::atomic_write_file_or_throw(path, bytes);
 }
 
 }  // namespace
@@ -482,11 +485,11 @@ ExperimentResult merge_campaign(const ExperimentPlan& plan,
   result.telemetry = merge_telemetry(records);
   // The canonical artifacts CI diffs against an unsharded run: the
   // fingerprint-keyed indicator CSV (same bytes as the driver's cache
-  // store) and the per-scenario reference fronts.
+  // store, CRC trailer included) and the per-scenario reference fronts.
   std::error_code ec;
   std::filesystem::create_directories(options.cache_dir, ec);
   write_file_or_throw(indicator_csv_path(options.cache_dir, plan),
-                      indicator_csv(result.samples));
+                      io::with_crc_trailer(indicator_csv(result.samples)));
   for (const std::string& scenario : plan.scenarios) {
     const auto reference = reference_front(records, scenario);
     std::ostringstream path;

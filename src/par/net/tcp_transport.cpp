@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/fault.hpp"
 #include "common/logging.hpp"
 #include "common/rng.hpp"
 #include "par/mailbox.hpp"
@@ -51,6 +52,13 @@ void set_nodelay(int fd) {
 /// Writes the whole buffer; false on any error.  MSG_NOSIGNAL: a peer
 /// dying mid-write must surface as EPIPE, not kill the process.
 bool write_all(int fd, const std::string& bytes) {
+  if (fault::fire("net.send.short_write")) {
+    // Emit a prefix, then fail as if the connection reset mid-write: the
+    // peer observes a truncated frame, we observe a dead send path.
+    ::send(fd, bytes.data(), bytes.size() / 2, MSG_NOSIGNAL);
+    errno = ECONNRESET;
+    return false;
+  }
   std::size_t sent = 0;
   while (sent < bytes.size()) {
     const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
@@ -164,12 +172,21 @@ struct TcpTransport::Impl {
         break;
       }
       peer.last_seen_ns.store(now_ns(), std::memory_order_release);
+      if (fault::fire("net.frame.corrupt")) buffer[0] ^= 0x20;
       try {
         decoder.feed({buffer, static_cast<std::size_t>(n)});
         bool done = false;
         while (auto frame = decoder.next()) {
           switch (frame->type) {
             case FrameType::kData:
+              // A TCP stream cannot skip one frame and resync, so a
+              // dropped frame severs the connection; the elastic layer's
+              // requeue keeps outputs byte-identical regardless.
+              if (fault::fire("net.frame.drop")) {
+                reason = "dropped data frame (fault injection)";
+                done = true;
+                break;
+              }
               inbox.send(Message{Message::Kind::kData, peer.rank,
                                  std::move(frame->payload)});
               break;
@@ -377,6 +394,10 @@ std::unique_ptr<TcpTransport> TcpTransport::connect(const std::string& host,
                    : 0;
       std::this_thread::sleep_for(
           std::chrono::milliseconds(scaled + jitter));
+    }
+    if (fault::fire("net.connect.refuse")) {
+      last_error = "connection refused (fault injection)";
+      continue;
     }
     addrinfo hints{};
     hints.ai_family = AF_INET;

@@ -21,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/durable_file.hpp"
 #include "expt/distributed_driver.hpp"
 #include "expt/experiment.hpp"
 #include "expt/manifest.hpp"
@@ -179,10 +180,10 @@ TEST(DistributedDriver, CollectsFullRecordsAndWritesTheSameCache) {
     }
   }
 
-  // The world-level CSV cache has the canonical bytes and satisfies the
-  // next distributed run.
+  // The world-level CSV cache has the canonical bytes (CRC trailer
+  // included) and satisfies the next distributed run.
   EXPECT_EQ(slurp(indicator_csv_path(world.driver.cache_dir, plan)),
-            indicator_csv(reference.samples));
+            io::with_crc_trailer(indicator_csv(reference.samples)));
   auto cached_world = world;
   cached_world.driver.collect_records = false;
   const auto cached = DistributedDriver(cached_world).run(plan);
@@ -370,10 +371,11 @@ TEST(ShardManifest, MergeReconstructsTheUnshardedCampaignBitwise) {
   expect_identical(full.samples, merged.samples);
   ASSERT_EQ(merged.records.size(), full.records.size());
 
-  // The artifacts CI diffs: the CSV bytes equal the unsharded cache store,
-  // and each reference front file equals the one the full records imply.
+  // The artifacts CI diffs: the CSV bytes equal the unsharded cache store
+  // (CRC trailer included), and each reference front file equals the one
+  // the full records imply.
   EXPECT_EQ(slurp(indicator_csv_path(merge_options.cache_dir, plan)),
-            indicator_csv(full.samples));
+            io::with_crc_trailer(indicator_csv(full.samples)));
   for (const std::string& scenario : plan.scenarios) {
     std::ostringstream path;
     path << merge_options.cache_dir << "/reference_" << plan.scale.name << "_"

@@ -1,0 +1,684 @@
+/// The fault-injection subsystem and the durable I/O it attacks: plan
+/// grammar + trigger semantics + seeded determinism, CRC32 trailers and
+/// atomic file replacement, cache/manifest corruption handling, the
+/// crash-resume journal under adversarial inputs (torn tail, bit flips,
+/// wrong fingerprint, empty file), worker-side coordinator-loss detection
+/// (typed error + heartbeat deadline over real sockets), and the four
+/// `net.*` sites wired into TcpTransport.  Thread-based only — the forked
+/// chaos drill lives in test_chaos_campaign.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/durable_file.hpp"
+#include "common/fault.hpp"
+#include "expt/campaign_service.hpp"
+#include "expt/experiment.hpp"
+#include "expt/manifest.hpp"
+#include "par/net/tcp_transport.hpp"
+#include "par/net/transport.hpp"
+
+namespace aedbmls::expt {
+namespace {
+
+using namespace std::chrono_literals;
+
+Scale tiny_scale() {
+  Scale scale;
+  scale.networks = 1;
+  scale.runs = 2;
+  scale.evals = 24;
+  scale.seed = 4242;
+  scale.scenarios = {"d100", "static-grid"};
+  return scale;
+}
+
+ExperimentPlan tiny_plan() {
+  return ExperimentPlan::of({"NSGAII", "Random"}, tiny_scale());
+}
+
+std::string scratch_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "aedbmls_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  out << bytes;
+}
+
+std::string fingerprint_hex(const ExperimentPlan& plan) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%llx",
+                static_cast<unsigned long long>(plan.fingerprint()));
+  return buffer;
+}
+
+/// A decodable cell result matching `cell`'s plan metadata — enough for
+/// journal codec tests without running a simulation.
+CellResult fabricate(const ExperimentPlan::Cell& cell) {
+  CellResult result;
+  result.index = cell.index;
+  result.record.algorithm = cell.algorithm;
+  result.record.scenario = cell.scenario;
+  result.record.run_seed = cell.seed;
+  result.record.evaluations = 7;
+  result.record.wall_seconds = 0.25;
+  return result;
+}
+
+std::string journal_record(const CellResult& result) {
+  const std::string block = encode_cell_result(result);
+  return block + "crc " + io::crc32_hex(block) + "\n";
+}
+
+std::string journal_bytes(const ExperimentPlan& plan, std::size_t records) {
+  const auto cells = plan.cells();
+  std::string bytes = "aedbmls-campaign-journal v2 " + fingerprint_hex(plan) +
+                      " " + std::to_string(cells.size()) + "\n";
+  for (std::size_t i = 0; i < records; ++i) {
+    bytes += journal_record(fabricate(cells[i]));
+  }
+  return bytes;
+}
+
+// ---------------------------------------------------------------------------
+// Plan grammar + triggers
+
+TEST(FaultPlan, InactiveByDefaultAndAfterClear) {
+  fault::clear();
+  EXPECT_FALSE(fault::active());
+  EXPECT_FALSE(fault::fire("net.frame.drop"));
+  EXPECT_EQ(fault::describe(), "");
+
+  fault::configure("net.frame.drop=always");
+  EXPECT_TRUE(fault::active());
+  fault::clear();
+  EXPECT_FALSE(fault::active());
+  EXPECT_FALSE(fault::fire("net.frame.drop"));
+}
+
+TEST(FaultPlan, DescribeRoundTripsTheSpec) {
+  const std::string spec =
+      "seed=42;cell.stall_ms=always,value=1500;net.frame.drop=nth:6";
+  fault::configure(spec);
+  const std::string canonical = fault::describe();
+  fault::configure(canonical);
+  EXPECT_EQ(fault::describe(), canonical);
+  EXPECT_NE(canonical.find("seed=42"), std::string::npos);
+  EXPECT_NE(canonical.find("net.frame.drop=nth:6"), std::string::npos);
+  EXPECT_NE(canonical.find("cell.stall_ms=always,value=1500"),
+            std::string::npos);
+  fault::clear();
+}
+
+TEST(FaultPlan, RejectsMalformedSpecsWithoutInstallingThem) {
+  fault::configure("net.frame.drop=nth:2");
+  const char* bad[] = {
+      "net.frame.dorp=always",        // unknown site (typo must fail loudly)
+      "net.frame.drop",               // no trigger
+      "net.frame.drop=nth:0",         // nth is 1-based
+      "net.frame.drop=every:0",       // zero period
+      "net.frame.drop=prob:1.5",      // probability out of range
+      "net.frame.drop=maybe",         // unknown trigger
+      "net.frame.drop=nth:2,delay=5", // unknown option
+      "net.frame.drop=always,value=x",
+      "seed=notanumber",
+      "net.frame.drop=always;net.frame.drop=off",  // duplicate site
+  };
+  for (const char* spec : bad) {
+    EXPECT_THROW(fault::configure(spec), std::invalid_argument) << spec;
+  }
+  // A rejected spec never replaces the active plan.
+  EXPECT_EQ(fault::describe(), "net.frame.drop=nth:2");
+  fault::clear();
+}
+
+TEST(FaultPlan, TriggerSemantics) {
+  fault::ScopedPlan plan(
+      "net.frame.drop=nth:3;net.frame.corrupt=after:2;"
+      "net.send.short_write=every:3;io.cache.write_fail=always;"
+      "io.journal.torn_tail=off");
+  for (int i = 1; i <= 9; ++i) {
+    EXPECT_EQ(fault::fire("net.frame.drop"), i == 3) << i;
+    EXPECT_EQ(fault::fire("net.frame.corrupt"), i > 2) << i;
+    EXPECT_EQ(fault::fire("net.send.short_write"), i % 3 == 0) << i;
+    EXPECT_TRUE(fault::fire("io.cache.write_fail")) << i;
+    EXPECT_FALSE(fault::fire("io.journal.torn_tail")) << i;
+    EXPECT_FALSE(fault::fire("cell.stall_ms")) << i;  // unconfigured
+  }
+  EXPECT_EQ(fault::hits("net.frame.drop"), 9u);
+  EXPECT_EQ(fault::hits("cell.stall_ms"), 0u);
+}
+
+TEST(FaultPlan, SeededProbabilityReplaysDeterministically) {
+  const auto draw = [](const std::string& spec) {
+    fault::configure(spec);
+    std::vector<bool> fired;
+    fired.reserve(256);
+    for (int i = 0; i < 256; ++i) {
+      fired.push_back(fault::fire("net.frame.drop"));
+    }
+    return fired;
+  };
+  const auto a = draw("seed=1;net.frame.drop=prob:0.5");
+  const auto b = draw("seed=1;net.frame.drop=prob:0.5");
+  const auto c = draw("seed=2;net.frame.drop=prob:0.5");
+  EXPECT_EQ(a, b);  // same plan string => same injection sequence
+  EXPECT_NE(a, c);  // the seed is load-bearing
+  const std::size_t fired = std::count(a.begin(), a.end(), true);
+  EXPECT_GT(fired, 64u);  // crude sanity: roughly half fire
+  EXPECT_LT(fired, 192u);
+
+  fault::configure("net.frame.drop=prob:1");
+  EXPECT_TRUE(fault::fire("net.frame.drop"));
+  fault::configure("net.frame.drop=prob:0");
+  EXPECT_FALSE(fault::fire("net.frame.drop"));
+  fault::clear();
+}
+
+TEST(FaultPlan, ValueParameterRidesTheTrigger) {
+  fault::ScopedPlan plan("cell.stall_ms=nth:2,value=250");
+  double value = -1.0;
+  EXPECT_FALSE(fault::fire("cell.stall_ms", value));
+  EXPECT_EQ(value, -1.0);  // untouched until the site fires
+  EXPECT_TRUE(fault::fire("cell.stall_ms", value));
+  EXPECT_EQ(value, 250.0);
+}
+
+TEST(FaultPlan, EveryKIsExactUnderConcurrency) {
+  fault::ScopedPlan plan("net.frame.drop=every:4");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::atomic<int> fired{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&fired] {
+      for (int i = 0; i < kPerThread; ++i) {
+        if (fault::fire("net.frame.drop")) fired.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // Occurrence numbers are atomic, so exactly every 4th of the 4000 total
+  // occurrences fired no matter how the threads interleaved.
+  EXPECT_EQ(fired.load(), kThreads * kPerThread / 4);
+  EXPECT_EQ(fault::hits("net.frame.drop"),
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+TEST(FaultPlan, ScopedPlanRestoresThePreviousPlan) {
+  fault::configure("net.frame.drop=nth:1");
+  {
+    fault::ScopedPlan inner("io.cache.write_fail=always");
+    EXPECT_EQ(fault::describe(), "io.cache.write_fail=always");
+  }
+  EXPECT_EQ(fault::describe(), "net.frame.drop=nth:1");
+  EXPECT_TRUE(fault::fire("net.frame.drop"));  // counters reset on restore
+  fault::clear();
+}
+
+TEST(FaultPlan, ConfiguresFromTheEnvironment) {
+  fault::clear();
+  ::setenv("AEDB_FAULT_PLAN", "net.frame.drop=nth:7", 1);
+  EXPECT_TRUE(fault::configure_from_env());
+  EXPECT_EQ(fault::describe(), "net.frame.drop=nth:7");
+  ::unsetenv("AEDB_FAULT_PLAN");
+  EXPECT_TRUE(fault::configure_from_env());  // unset leaves the plan alone
+  EXPECT_EQ(fault::describe(), "net.frame.drop=nth:7");
+  fault::clear();
+}
+
+// ---------------------------------------------------------------------------
+// Durable file primitives
+
+TEST(DurableFile, Crc32KnownAnswer) {
+  EXPECT_EQ(io::crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(io::crc32_hex("123456789"), "cbf43926");
+  EXPECT_EQ(io::crc32(""), 0u);
+}
+
+TEST(DurableFile, TrailerRoundTripAndTamperDetection) {
+  const std::string payload = "header\nrow,1,2\nrow,3,4\n";
+  std::string sealed = io::with_crc_trailer(payload);
+  EXPECT_EQ(io::strip_crc_trailer(sealed), io::CrcCheck::kVerified);
+  EXPECT_EQ(sealed, payload);
+
+  std::string tampered = io::with_crc_trailer(payload);
+  tampered[9] ^= 0x01;  // flip one payload bit
+  EXPECT_EQ(io::strip_crc_trailer(tampered), io::CrcCheck::kMismatch);
+
+  std::string plain = payload;
+  EXPECT_EQ(io::strip_crc_trailer(plain), io::CrcCheck::kMissing);
+  EXPECT_EQ(plain, payload);
+
+  std::string empty;
+  EXPECT_EQ(io::strip_crc_trailer(empty), io::CrcCheck::kMissing);
+}
+
+TEST(DurableFile, AtomicWriteReplacesWithoutTempResidue) {
+  const std::string dir = scratch_dir("atomic_write");
+  const std::string path = dir + "/artifact.csv";
+  ASSERT_TRUE(io::atomic_write_file(path, "first\n"));
+  EXPECT_EQ(slurp(path), "first\n");
+  ASSERT_TRUE(io::atomic_write_file(path, "second\n"));
+  EXPECT_EQ(slurp(path), "second\n");
+  std::size_t entries = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    (void)entry;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u);  // no .tmp.* left behind
+  EXPECT_FALSE(io::atomic_write_file(dir + "/no/such/dir/x", "y"));
+}
+
+// ---------------------------------------------------------------------------
+// Indicator-CSV cache hardening
+
+TEST(CacheHardening, StoreSealsAndLoadRejectsCorruption) {
+  const auto plan = tiny_plan();
+  const std::string dir = scratch_dir("cache_hardening");
+  std::vector<IndicatorSample> samples;
+  for (const auto& cell : plan.cells()) {
+    IndicatorSample sample;
+    sample.algorithm = cell.algorithm;
+    sample.scenario = cell.scenario;
+    sample.run_seed = cell.seed;
+    sample.front_size = 3;
+    sample.hypervolume = 0.5;
+    sample.igd = 0.1;
+    sample.spread = 0.9;
+    samples.push_back(sample);
+  }
+  store_cached_samples(dir, plan, samples);
+  const std::string path = indicator_csv_path(dir, plan);
+  const std::string sealed = slurp(path);
+  ASSERT_NE(sealed.find("#crc32 "), std::string::npos);
+  ASSERT_TRUE(load_cached_samples(dir, plan).has_value());
+
+  // One changed byte inside the data: the trailer catches what the row
+  // parser would happily accept (0.5 -> 0.7 still parses).
+  std::string corrupt = sealed;
+  const std::size_t digit = corrupt.find("0.5");
+  ASSERT_NE(digit, std::string::npos);
+  corrupt[digit + 2] = '7';
+  spit(path, corrupt);
+  EXPECT_FALSE(load_cached_samples(dir, plan).has_value());
+
+  // A truncated file (no trailer, half a row) is malformed -> recompute.
+  spit(path, sealed.substr(0, sealed.size() / 2));
+  EXPECT_FALSE(load_cached_samples(dir, plan).has_value());
+
+  // Legacy cache without a trailer still loads.
+  spit(path, indicator_csv(samples));
+  EXPECT_TRUE(load_cached_samples(dir, plan).has_value());
+}
+
+TEST(CacheHardening, WriteFailSiteSkipsTheStore) {
+  const auto plan = tiny_plan();
+  const std::string dir = scratch_dir("cache_write_fail");
+  std::vector<IndicatorSample> samples(plan.cell_count());
+  fault::ScopedPlan fail_writes("io.cache.write_fail=always");
+  store_cached_samples(dir, plan, samples);
+  EXPECT_FALSE(std::filesystem::exists(indicator_csv_path(dir, plan)));
+}
+
+// ---------------------------------------------------------------------------
+// Shard-manifest hardening
+
+TEST(ManifestHardening, CorruptManifestIsRejectedByName) {
+  const auto plan = tiny_plan();
+  const std::string dir = scratch_dir("manifest_hardening");
+  std::vector<CellResult> results;
+  for (const auto& cell : plan.cells()) results.push_back(fabricate(cell));
+  const std::string path =
+      write_manifest(dir, make_manifest(plan, 0, 1, std::move(results)));
+  ASSERT_NE(slurp(path).find("#crc32 "), std::string::npos);
+  EXPECT_EQ(load_manifests(dir).size(), 1u);
+
+  std::string corrupt = slurp(path);
+  corrupt[corrupt.find("cell ") + 5] ^= 0x01;
+  spit(path, corrupt);
+  try {
+    (void)load_manifests(dir);
+    FAIL() << "corrupt manifest must be rejected";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("crc32"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find(path), std::string::npos);
+  }
+}
+
+TEST(ManifestHardening, LegacyManifestWithoutTrailerStillLoads) {
+  const auto plan = tiny_plan();
+  const std::string dir = scratch_dir("manifest_legacy");
+  std::vector<CellResult> results;
+  for (const auto& cell : plan.cells()) results.push_back(fabricate(cell));
+  spit(dir + "/" + manifest_filename(0, 1),
+       encode_manifest(make_manifest(plan, 0, 1, std::move(results))));
+  EXPECT_EQ(load_manifests(dir).size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Crash-resume journal under adversarial inputs
+
+TEST(JournalAdversarial, ReplaysExactlyTheValidPrefix) {
+  const auto plan = tiny_plan();
+  const std::string dir = scratch_dir("journal_adversarial");
+  const std::string path = campaign_journal_path(dir, plan);
+
+  // Intact: both records replay.
+  spit(path, journal_bytes(plan, 2));
+  EXPECT_EQ(load_campaign_journal(path, plan).size(), 2u);
+
+  // Torn mid-record (the coordinator died inside an append): the record
+  // under the tear is discarded, the prefix survives.
+  const std::string intact = journal_bytes(plan, 2);
+  const std::string one = journal_bytes(plan, 1);
+  spit(path, intact.substr(0, one.size() + (intact.size() - one.size()) / 2));
+  EXPECT_EQ(load_campaign_journal(path, plan).size(), 1u);
+
+  // One flipped bit in the second record: its CRC line disowns it.
+  std::string flipped = intact;
+  flipped[one.size() + 10] ^= 0x04;
+  spit(path, flipped);
+  EXPECT_EQ(load_campaign_journal(path, plan).size(), 1u);
+
+  // Wrong fingerprint header (a different plan's journal): nothing
+  // replays — resuming someone else's cells would corrupt the campaign.
+  auto other_scale = tiny_scale();
+  other_scale.seed = 777;
+  const auto other_plan = ExperimentPlan::of({"NSGAII", "Random"}, other_scale);
+  spit(path, journal_bytes(other_plan, 2));
+  EXPECT_TRUE(load_campaign_journal(path, plan).empty());
+
+  // Empty and missing files: nothing to replay, no error.
+  spit(path, "");
+  EXPECT_TRUE(load_campaign_journal(path, plan).empty());
+  std::filesystem::remove(path);
+  EXPECT_TRUE(load_campaign_journal(path, plan).empty());
+}
+
+TEST(JournalAdversarial, DuplicateOrMismatchedRecordsStopTheReplay) {
+  const auto plan = tiny_plan();
+  const std::string dir = scratch_dir("journal_dupes");
+  const std::string path = campaign_journal_path(dir, plan);
+  const auto cells = plan.cells();
+
+  // The same cell twice: the duplicate (and everything after) is dropped.
+  std::string bytes = journal_bytes(plan, 1);
+  bytes += journal_record(fabricate(cells[0]));
+  bytes += journal_record(fabricate(cells[1]));
+  spit(path, bytes);
+  EXPECT_EQ(load_campaign_journal(path, plan).size(), 1u);
+
+  // A record whose metadata contradicts the plan's cell table: dropped
+  // even though its CRC verifies.
+  CellResult imposter = fabricate(cells[1]);
+  imposter.record.run_seed ^= 1;
+  spit(path, journal_bytes(plan, 1) + journal_record(imposter));
+  EXPECT_EQ(load_campaign_journal(path, plan).size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Worker-side coordinator-loss detection
+
+TEST(CoordinatorLoss, HandshakeAgainstDeadCoordinatorThrowsTypedError) {
+  par::net::InProcWorld world(2);
+  world.endpoint(0).close();
+  CampaignWorkerOptions options;
+  options.driver.workers = 1;
+  options.driver.verbose = false;
+  EXPECT_THROW(run_campaign_worker(tiny_plan(), world.endpoint(1), options),
+               CoordinatorLostError);
+}
+
+TEST(CoordinatorLoss, MidCampaignDepartureThrowsTypedError) {
+  const auto plan = tiny_plan();
+  par::net::InProcWorld world(2);
+  std::thread coordinator([&world] {
+    auto ready = world.endpoint(0).recv();
+    ASSERT_TRUE(ready.has_value());
+    world.endpoint(0).close();  // vanish without a `done`
+  });
+  CampaignWorkerOptions options;
+  options.driver.workers = 1;
+  options.driver.verbose = false;
+  try {
+    (void)run_campaign_worker(plan, world.endpoint(1), options);
+    FAIL() << "worker must notice the coordinator vanishing";
+  } catch (const CoordinatorLostError& error) {
+    EXPECT_NE(std::string(error.what()).find("coordinator lost"),
+              std::string::npos);
+  }
+  coordinator.join();
+}
+
+TEST(CoordinatorLoss, MissedHeartbeatDeadlineOverTcpThrowsTypedError) {
+  // The coordinator accepts the worker and then goes silent (its
+  // heartbeats are disabled); the worker's deadline monitor must declare
+  // it dead — the worker exits with a typed error instead of hanging.
+  par::net::TcpOptions mute;
+  mute.heartbeat_interval = 0ms;
+  mute.peer_deadline = 0ms;
+  par::net::TcpListener listener(0, mute);
+
+  std::unique_ptr<par::net::TcpTransport> coordinator;
+  std::thread accept([&] { coordinator = listener.accept_workers(1); });
+
+  par::net::TcpOptions watchful;
+  watchful.heartbeat_interval = 50ms;
+  watchful.peer_deadline = 300ms;
+  watchful.connect_backoff_base = 10ms;
+  auto worker =
+      par::net::TcpTransport::connect("127.0.0.1", listener.port(), watchful);
+  accept.join();
+
+  CampaignWorkerOptions options;
+  options.driver.workers = 1;
+  options.driver.verbose = false;
+  try {
+    (void)run_campaign_worker(tiny_plan(), *worker, options);
+    FAIL() << "worker must miss the heartbeat deadline";
+  } catch (const CoordinatorLostError& error) {
+    EXPECT_NE(std::string(error.what()).find("heartbeat deadline exceeded"),
+              std::string::npos);
+  }
+  worker->close();
+  coordinator->close();
+}
+
+// ---------------------------------------------------------------------------
+// Net fault sites over real sockets
+
+/// A quiet two-endpoint TCP world (no heartbeats, no deadlines) so the
+/// only write_all/reader traffic is the handshake plus what the test
+/// sends — fault-site occurrence numbers are deterministic.
+struct QuietTcpPair {
+  par::net::TcpOptions options;
+  std::unique_ptr<par::net::TcpListener> listener;
+  std::unique_ptr<par::net::TcpTransport> coordinator;
+  std::unique_ptr<par::net::TcpTransport> worker;
+
+  QuietTcpPair() {
+    options.heartbeat_interval = 0ms;
+    options.peer_deadline = 0ms;
+    options.connect_backoff_base = 1ms;
+    listener = std::make_unique<par::net::TcpListener>(0, options);
+    std::thread accept([this] { coordinator = listener->accept_workers(1); });
+    worker =
+        par::net::TcpTransport::connect("127.0.0.1", listener->port(), options);
+    accept.join();
+  }
+
+  ~QuietTcpPair() {
+    if (worker) worker->close();
+    if (coordinator) coordinator->close();
+  }
+};
+
+TEST(NetFaultSites, ShortWriteTearsTheFrameAndBothSidesNotice) {
+  // Occurrences: 1 = worker hello, 2 = coordinator welcome, 3 = the data
+  // frame below — torn mid-write.
+  fault::ScopedPlan plan("net.send.short_write=nth:3");
+  QuietTcpPair net;
+  EXPECT_FALSE(net.worker->send(0, "ping"));
+  auto seen = net.coordinator->recv();
+  ASSERT_TRUE(seen.has_value());
+  EXPECT_EQ(seen->kind, par::net::Message::Kind::kPeerLeft);
+  EXPECT_NE(seen->payload.find("mid-frame"), std::string::npos)
+      << seen->payload;
+}
+
+TEST(NetFaultSites, CorruptedBytePoisonsTheConnection) {
+  QuietTcpPair net;
+  // Configure after the handshake: the first post-handshake chunk any
+  // reader receives is the ping below, corrupted at the frame-type byte.
+  fault::ScopedPlan plan("net.frame.corrupt=nth:1");
+  EXPECT_TRUE(net.worker->send(0, "ping"));
+  auto seen = net.coordinator->recv();
+  ASSERT_TRUE(seen.has_value());
+  EXPECT_EQ(seen->kind, par::net::Message::Kind::kPeerLeft);
+  EXPECT_NE(seen->payload.find("malformed frame"), std::string::npos)
+      << seen->payload;
+}
+
+TEST(NetFaultSites, DroppedFrameSeversTheConnection) {
+  QuietTcpPair net;
+  fault::ScopedPlan plan("net.frame.drop=nth:1");
+  EXPECT_TRUE(net.worker->send(0, "ping"));
+  auto seen = net.coordinator->recv();
+  ASSERT_TRUE(seen.has_value());
+  EXPECT_EQ(seen->kind, par::net::Message::Kind::kPeerLeft);
+  EXPECT_NE(seen->payload.find("dropped data frame"), std::string::npos)
+      << seen->payload;
+}
+
+TEST(NetFaultSites, RefusedConnectConsumesRetryAttempts) {
+  par::net::TcpOptions options;
+  options.connect_attempts = 2;
+  options.connect_backoff_base = 1ms;
+  {
+    // Every attempt refused before touching the network: no listener
+    // needed, and the error names the injection.
+    fault::ScopedPlan refuse_all("net.connect.refuse=always");
+    try {
+      (void)par::net::TcpTransport::connect("127.0.0.1", 1, options);
+      FAIL() << "connect must exhaust its attempts";
+    } catch (const std::runtime_error& error) {
+      EXPECT_NE(std::string(error.what()).find("fault injection"),
+                std::string::npos);
+      EXPECT_NE(std::string(error.what()).find("2 attempts"),
+                std::string::npos);
+    }
+  }
+  {
+    // First attempt refused, second lands: the retry loop absorbs the
+    // fault exactly like a coordinator that boots late.
+    fault::ScopedPlan refuse_once("net.connect.refuse=nth:1");
+    options.heartbeat_interval = 0ms;
+    options.peer_deadline = 0ms;
+    par::net::TcpListener listener(0, options);
+    std::unique_ptr<par::net::TcpTransport> coordinator;
+    std::thread accept([&] { coordinator = listener.accept_workers(1); });
+    auto worker =
+        par::net::TcpTransport::connect("127.0.0.1", listener.port(), options);
+    accept.join();
+    // Two occurrences drawn (one per attempt); only the first fired.
+    EXPECT_EQ(fault::hits("net.connect.refuse"), 2u);
+    EXPECT_EQ(worker->rank(), 1u);
+    worker->close();
+    coordinator->close();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator-side protocol hardening
+
+TEST(CoordinatorHardening, MalformedResultFailsTheWorkerNotTheCampaign) {
+  const auto plan = tiny_plan();
+  const std::string ref_dir = scratch_dir("hardening_ref");
+  ExperimentDriver::Options ref_options;
+  ref_options.workers = 2;
+  ref_options.verbose = false;
+  ref_options.use_cache = true;
+  ref_options.cache_dir = ref_dir;
+  const auto reference = ExperimentDriver(ref_options).run(plan);
+
+  par::net::InProcWorld world(3);
+  // Rank 1: an honest worker that can carry the whole campaign.
+  std::thread honest([&world, &plan] {
+    CampaignWorkerOptions options;
+    options.driver.workers = 1;
+    options.driver.verbose = false;
+    (void)run_campaign_worker(plan, world.endpoint(1), options);
+  });
+  // Rank 2: a liar — answers its first assignment with garbage bytes.
+  std::string rejection;
+  std::thread liar([&world, &plan, &rejection] {
+    auto& me = world.endpoint(2);
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%llx",
+                  static_cast<unsigned long long>(plan.fingerprint()));
+    me.send(0, std::string("ready ") + buffer);
+    for (;;) {
+      auto message = me.recv();
+      if (!message) return;
+      if (message->kind != par::net::Message::Kind::kData) continue;
+      if (message->payload.rfind("warm", 0) == 0) continue;
+      if (message->payload.rfind("cell ", 0) == 0) {
+        me.send(0, "result " + message->payload.substr(5) +
+                       "\nnot a cell block\n");
+        continue;
+      }
+      if (message->payload.rfind("reject ", 0) == 0) {
+        rejection = message->payload;
+        me.close();
+        return;
+      }
+      return;
+    }
+  });
+
+  CampaignCoordinatorOptions coordinator;
+  coordinator.driver.workers = 1;
+  coordinator.driver.verbose = false;
+  coordinator.driver.use_cache = false;
+  const auto result =
+      run_campaign_coordinator(plan, world.endpoint(0), coordinator);
+  honest.join();
+  liar.join();
+
+  // The campaign survived the liar, recomputed its cell elsewhere, and
+  // the liar was told why it was dropped.
+  ASSERT_EQ(result.samples.size(), reference.samples.size());
+  for (std::size_t i = 0; i < result.samples.size(); ++i) {
+    EXPECT_EQ(result.samples[i].hypervolume, reference.samples[i].hypervolume)
+        << i;
+  }
+  EXPECT_NE(rejection.find("bad result"), std::string::npos) << rejection;
+}
+
+}  // namespace
+}  // namespace aedbmls::expt
