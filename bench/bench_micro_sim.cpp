@@ -147,11 +147,11 @@ void BM_FullScenarioPooled(benchmark::State& state) {
   const aedb::AedbParams params = bench_params();
   aedb::ScenarioWorkspace workspace;
   benchmark::DoNotOptimize(
-      aedb::run_scenario(config, params, &workspace).stats.coverage);
+      aedb::run_scenario(config, params, workspace).stats.coverage);
   std::uint64_t events = 0;
   const unsigned long long allocs0 = g_allocations.load(std::memory_order_relaxed);
   for (auto _ : state) {
-    const auto result = aedb::run_scenario(config, params, &workspace);
+    const auto result = aedb::run_scenario(config, params, workspace);
     events += result.events_executed;
     benchmark::DoNotOptimize(result.stats.coverage);
   }
@@ -182,7 +182,7 @@ void BM_TenNetworkEvaluationAB(benchmark::State& state) {
   for (std::uint64_t network = 0; network < 10; ++network) {
     config.network.network_index = network;
     benchmark::DoNotOptimize(
-        aedb::run_scenario(config, params, &workspace).stats.coverage);
+        aedb::run_scenario(config, params, workspace).stats.coverage);
   }
   using clock = std::chrono::steady_clock;
   std::chrono::nanoseconds fresh_ns{0};
@@ -198,7 +198,7 @@ void BM_TenNetworkEvaluationAB(benchmark::State& state) {
       const auto t0 = clock::now();
       const auto fresh = aedb::run_scenario(config, params);
       const auto t1 = clock::now();
-      const auto pooled = aedb::run_scenario(config, params, &workspace);
+      const auto pooled = aedb::run_scenario(config, params, workspace);
       const auto t2 = clock::now();
       fresh_ns += t1 - t0;
       pooled_ns += t2 - t1;

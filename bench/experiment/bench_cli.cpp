@@ -1,20 +1,19 @@
 #include "experiment/bench_cli.hpp"
 
-#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
-#include <map>
 #include <memory>
 #include <stdexcept>
 #include <utility>
 
+#include "common/assert.hpp"
 #include "common/fault.hpp"
 #include "common/telemetry.hpp"
 #include "par/net/tcp_transport.hpp"
 
 #include "expt/algorithm_registry.hpp"
+#include "expt/campaign_options.hpp"
 #include "expt/campaign_service.hpp"
 #include "expt/distributed_driver.hpp"
 #include "expt/manifest.hpp"
@@ -55,102 +54,35 @@ Scale resolve_scale_or_exit(const CliArgs& args) {
 
 namespace {
 
-/// `--shard=i/N` with 0-based i in [0, N).
-std::pair<std::size_t, std::size_t> parse_shard_spec_or_exit(
-    const std::string& spec) {
-  const auto bad = [&spec]() -> std::pair<std::size_t, std::size_t> {
-    std::fprintf(stderr,
-                 "error: bad --shard spec '%s'; expected i/N with 0 <= i < N "
-                 "(e.g. --shard=0/3)\n",
-                 spec.c_str());
-    std::exit(2);
-  };
-  const std::size_t slash = spec.find('/');
-  if (slash == std::string::npos || slash == 0 || slash + 1 >= spec.size()) {
-    return bad();
-  }
-  // Digits only: stoull would accept (and wrap) a leading '-', turning a
-  // typo like 0/-3 into a 2^64-ish shard count instead of an error.
-  for (const char c : spec) {
-    if (c != '/' && (c < '0' || c > '9')) return bad();
-  }
-  std::size_t index = 0;
-  std::size_t count = 0;
-  try {
-    std::size_t pos = 0;
-    index = std::stoull(spec.substr(0, slash), &pos);
-    if (pos != slash) return bad();
-    count = std::stoull(spec.substr(slash + 1), &pos);
-    if (pos != spec.size() - slash - 1) return bad();
-  } catch (const std::exception&) {
-    return bad();
-  }
-  if (count == 0 || index >= count) return bad();
-  return {index, count};
-}
-
 /// `--progress[=N]`: a ProgressMeter over `total_cells` printing every N
-/// cells (default 1).  nullptr when the flag is absent.
+/// cells.  nullptr when the flag is absent.
 std::unique_ptr<telemetry::ProgressMeter> make_progress(
-    const CliArgs& args, std::size_t total_cells) {
-  if (!args.has("progress")) return nullptr;
-  long every = args.get_int("progress", 1);
-  if (every < 1) every = 1;
-  return std::make_unique<telemetry::ProgressMeter>(
-      total_cells, static_cast<std::size_t>(every));
+    const CampaignOptions& campaign, std::size_t total_cells) {
+  if (!campaign.progress) return nullptr;
+  return std::make_unique<telemetry::ProgressMeter>(total_cells,
+                                                    campaign.progress_every);
 }
 
-/// `--telemetry-out=FILE`: dumps the snapshot via the line codec (one
-/// `tcounter`/`tgauge`/`thist` line per instrument) — the file feeds
-/// straight back into `--cost-priors`.
-void maybe_write_telemetry(const CliArgs& args,
+/// `--telemetry-out=FILE`: durable dump of the snapshot via the line codec
+/// (atomic replace + #crc32 trailer) — the file feeds straight back into
+/// `--cost-priors`.
+void maybe_write_telemetry(const CampaignOptions& campaign,
                            const telemetry::Snapshot& snapshot) {
-  if (!args.has("telemetry-out")) return;
-  const std::string path = args.get("telemetry-out");
-  if (path.empty()) {
-    std::fprintf(stderr, "error: --telemetry-out needs a file path\n");
-    std::exit(2);
-  }
-  const auto lines = telemetry::encode_snapshot(snapshot);
-  std::ofstream out(path, std::ios::trunc);
-  for (const std::string& line : lines) out << line << '\n';
-  out.flush();
-  if (!out) {
-    std::fprintf(stderr, "error: cannot write telemetry to %s\n",
-                 path.c_str());
-    std::exit(2);
-  }
-  std::printf("[telemetry] %zu instrument lines -> %s\n", lines.size(),
-              path.c_str());
+  if (campaign.telemetry_out.empty()) return;
+  const std::size_t lines =
+      write_telemetry_file(campaign.telemetry_out, snapshot);
+  std::printf("[telemetry] %zu instrument lines -> %s\n", lines,
+              campaign.telemetry_out.c_str());
 }
 
-/// `--cost-priors=FILE`: a telemetry snapshot dump (e.g. a previous run's
-/// --telemetry-out) whose `scenario.<key>.wall_s` gauges seed the elastic
-/// coordinator's scheduling order.
-std::map<std::string, double> cost_priors_or_exit(const CliArgs& args) {
-  if (!args.has("cost-priors")) return {};
-  const std::string path = args.get("cost-priors");
-  std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "error: cannot read --cost-priors file %s\n",
-                 path.c_str());
-    std::exit(2);
-  }
-  telemetry::Snapshot snapshot;
-  std::string line;
-  std::size_t line_number = 0;
-  while (std::getline(in, line)) {
-    ++line_number;
-    if (line.empty()) continue;
-    try {
-      telemetry::decode_snapshot_line(line, snapshot);
-    } catch (const std::invalid_argument& error) {
-      std::fprintf(stderr, "error: %s line %zu: %s\n", path.c_str(),
-                   line_number, error.what());
-      std::exit(2);
-    }
-  }
-  return cost_priors_from_snapshot(snapshot);
+/// `--front-out=DIR`: canonically-sorted per-scenario reference fronts.
+void maybe_write_fronts(const CampaignOptions& campaign,
+                        const ExperimentPlan& plan,
+                        const ExperimentResult& result) {
+  if (campaign.front_out.empty()) return;
+  write_front_csvs(campaign.front_out, plan, result.records);
+  std::printf("[front] %zu scenario reference fronts -> %s/\n",
+              plan.scenarios.size(), campaign.front_out.c_str());
 }
 
 /// Network knobs shared by --serve and --connect, from the environment
@@ -167,47 +99,26 @@ par::net::TcpOptions net_options_from_env() {
   return net;
 }
 
-/// `--connect=HOST:PORT` with a non-empty host and a port in [1, 65535].
-std::pair<std::string, std::uint16_t> parse_host_port_or_exit(
-    const std::string& spec) {
-  const auto bad = [&spec]() -> std::pair<std::string, std::uint16_t> {
-    std::fprintf(stderr,
-                 "error: bad --connect spec '%s'; expected HOST:PORT "
-                 "(e.g. --connect=127.0.0.1:7000)\n",
-                 spec.c_str());
-    std::exit(2);
-  };
-  const std::size_t colon = spec.rfind(':');
-  if (colon == std::string::npos || colon == 0 || colon + 1 >= spec.size()) {
-    return bad();
-  }
-  const std::string port_token = spec.substr(colon + 1);
-  for (const char c : port_token) {
-    if (c < '0' || c > '9') return bad();
-  }
-  unsigned long port = 0;
-  try {
-    std::size_t pos = 0;
-    port = std::stoul(port_token, &pos);
-    if (pos != port_token.size()) return bad();
-  } catch (const std::exception&) {
-    return bad();
-  }
-  if (port == 0 || port > 65535) return bad();
-  return {spec.substr(0, colon), static_cast<std::uint16_t>(port)};
-}
-
 }  // namespace
 
 ExperimentResult run_campaign_or_exit(const CliArgs& args,
                                       const ExperimentPlan& plan,
                                       ExperimentDriver::Options options) {
-  if (args.has("cache-dir")) options.cache_dir = args.get("cache-dir");
+  CampaignOptions campaign;
+  try {
+    campaign = parse_campaign_options(args);
+  } catch (const std::invalid_argument& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    std::exit(2);
+  }
+  if (campaign.cache_dir) options.cache_dir = *campaign.cache_dir;
+  // `--front-out` needs the raw fronts, not just the indicator reduction.
+  if (!campaign.front_out.empty()) options.collect_records = true;
   // Chaos drills: `--fault-plan=SPEC` wins over AEDB_FAULT_PLAN (see
   // common/fault.hpp for the grammar and EXPERIMENTS.md for the drills).
   try {
-    if (args.has("fault-plan")) {
-      fault::configure(args.get("fault-plan"));
+    if (campaign.fault_plan) {
+      fault::configure(*campaign.fault_plan);
     } else {
       fault::configure_from_env();
     }
@@ -219,163 +130,126 @@ ExperimentResult run_campaign_or_exit(const CliArgs& args,
     std::fprintf(stderr, "[fault] plan active: %s\n",
                  fault::describe().c_str());
   }
-  const bool shard_mode = args.has("shard");
-  const bool merge_mode = args.has("merge");
-  const bool ranks_mode = args.has("ranks");
-  const bool serve_mode = args.has("serve");
-  const bool connect_mode = args.has("connect");
-  {
-    // Distribution modes are mutually exclusive; name the exact clashing
-    // pair so the fix is obvious from the message alone.
-    const char* kModes[] = {"ranks", "shard", "merge", "serve", "connect"};
-    const char* first = nullptr;
-    for (const char* mode : kModes) {
-      if (!args.has(mode)) continue;
-      if (first == nullptr) {
-        first = mode;
-        continue;
-      }
-      std::fprintf(stderr,
-                   "error: --%s conflicts with --%s; pick one distribution "
-                   "mode (--ranks | --shard | --merge | --serve | "
-                   "--connect)\n",
-                   first, mode);
-      std::exit(2);
-    }
-  }
   try {
-    if (merge_mode) {
-      const std::string dir = args.get("merge");
-      if (dir.empty()) {
-        std::fprintf(stderr, "error: --merge needs a directory\n");
-        std::exit(2);
+    switch (campaign.mode) {
+      case CampaignMode::kMerge: {
+        auto result = merge_campaign(plan, campaign.merge_dir, options);
+        std::printf(
+            "[merge] %zu indicator samples reassembled from %s -> %s\n",
+            result.samples.size(), campaign.merge_dir.c_str(),
+            indicator_csv_path(options.cache_dir, plan).c_str());
+        maybe_write_telemetry(campaign, result.telemetry);
+        maybe_write_fronts(campaign, plan, result);
+        return result;
       }
-      auto result = merge_campaign(plan, dir, options);
-      std::printf("[merge] %zu indicator samples reassembled from %s -> %s\n",
-                  result.samples.size(), dir.c_str(),
-                  indicator_csv_path(options.cache_dir, plan).c_str());
-      maybe_write_telemetry(args, result.telemetry);
-      return result;
+      case CampaignMode::kServe: {
+        const auto progress = make_progress(campaign, plan.cell_count());
+        options.progress = progress.get();
+        CampaignCoordinatorOptions coordinator;
+        coordinator.cost_priors = campaign.cost_priors;
+        coordinator.driver = std::move(options);
+        par::net::TcpListener listener(campaign.serve_port,
+                                       net_options_from_env());
+        std::printf("[serve] listening on port %u; waiting for %zu workers\n",
+                    listener.port(), campaign.fleet);
+        std::fflush(stdout);
+        const auto transport = listener.accept_workers(campaign.fleet);
+        std::printf("[serve] %zu workers connected; scheduling %zu cells\n",
+                    campaign.fleet, plan.cell_count());
+        std::fflush(stdout);
+        auto result = run_campaign_coordinator(plan, *transport, coordinator);
+        transport->close();
+        maybe_write_telemetry(campaign, result.telemetry);
+        maybe_write_fronts(campaign, plan, result);
+        return result;
+      }
+      case CampaignMode::kConnect: {
+        CampaignWorkerOptions worker;
+        worker.cell_delay = std::chrono::milliseconds(
+            std::max(0L, env_or_int("AEDB_ELASTIC_CELL_DELAY_MS", 0)));
+        worker.driver = std::move(options);
+        const auto transport = par::net::TcpTransport::connect(
+            campaign.connect_host, campaign.connect_port,
+            net_options_from_env());
+        std::printf("[connect] joined %s:%u as rank %zu of %zu\n",
+                    campaign.connect_host.c_str(), campaign.connect_port,
+                    transport->rank(), transport->world_size());
+        std::fflush(stdout);
+        WorkerReport report;
+        try {
+          report = run_campaign_worker(plan, *transport, worker);
+        } catch (const CoordinatorLostError& error) {
+          // Distinct exit status: a lost coordinator is an orchestration
+          // failure (restart the coordinator, workers reconnect), not a bad
+          // invocation (exit 2) or a worker bug.
+          std::fprintf(stderr, "error: %s\n", error.what());
+          std::exit(3);
+        }
+        std::printf("[connect] completed %zu cells; coordinator released "
+                    "this worker\n",
+                    report.cells_completed);
+        maybe_write_telemetry(campaign, report.telemetry);
+        // Like --shard, a worker holds partial results only — the bench
+        // cannot continue on them, so part ways here.
+        std::exit(0);
+      }
+      case CampaignMode::kShard: {
+        // Reject bad plans before burning a shard's worth of compute — the
+        // full/distributed drivers validate inside run(), but run_cells is
+        // below that layer.
+        validate_plan(plan);
+        options.use_cache = false;  // partial grids must never hit the cache
+        options.collect_records = false;
+        const auto cells =
+            cells_for_shard(plan, campaign.shard_index, campaign.shard_count);
+        // Shard progress counts the shard's own cells, not the whole grid.
+        const auto progress = make_progress(campaign, cells.size());
+        options.progress = progress.get();
+        std::printf("[shard %zu/%zu] running %zu of %zu cells\n",
+                    campaign.shard_index, campaign.shard_count, cells.size(),
+                    plan.cell_count());
+        auto records = ExperimentDriver(options).run_cells(plan, cells);
+        // The shard's own telemetry fold (its cells in shard order) — the
+        // campaign-wide fold belongs to the --merge run.
+        if (!campaign.telemetry_out.empty()) {
+          maybe_write_telemetry(campaign, merge_telemetry(records));
+        }
+        std::vector<CellResult> results;
+        results.reserve(cells.size());
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+          results.push_back(CellResult{cells[i].index, std::move(records[i])});
+        }
+        const std::string path = write_manifest(
+            campaign.shard_dir,
+            make_manifest(plan, campaign.shard_index, campaign.shard_count,
+                          std::move(results)));
+        std::printf("[shard %zu/%zu] wrote %s\n", campaign.shard_index,
+                    campaign.shard_count, path.c_str());
+        std::exit(0);
+      }
+      case CampaignMode::kRanks: {
+        // One meter shared by every rank (it is thread-safe), so the feed
+        // covers the whole world, not one rank's stride.
+        const auto progress = make_progress(campaign, plan.cell_count());
+        options.progress = progress.get();
+        DistributedDriver::Options distributed;
+        distributed.ranks = campaign.ranks;
+        distributed.driver = std::move(options);
+        auto result = DistributedDriver(std::move(distributed)).run(plan);
+        maybe_write_telemetry(campaign, result.telemetry);
+        maybe_write_fronts(campaign, plan, result);
+        return result;
+      }
+      case CampaignMode::kLocal: {
+        const auto progress = make_progress(campaign, plan.cell_count());
+        options.progress = progress.get();
+        auto result = ExperimentDriver(std::move(options)).run(plan);
+        maybe_write_telemetry(campaign, result.telemetry);
+        maybe_write_fronts(campaign, plan, result);
+        return result;
+      }
     }
-    if (serve_mode) {
-      const long port = args.get_int("serve", -1);
-      if (port < 0 || port > 65535) {
-        std::fprintf(stderr,
-                     "error: --serve needs a port in [0, 65535] (0 picks an "
-                     "ephemeral port)\n");
-        std::exit(2);
-      }
-      // In serve mode the coordinator runs no cells itself, so --workers
-      // names the fleet: how many worker processes to accept.
-      const long fleet = args.get_int("workers", 0);
-      if (fleet < 1) {
-        std::fprintf(stderr,
-                     "error: --serve needs --workers=N (the number of "
-                     "worker processes that will --connect)\n");
-        std::exit(2);
-      }
-      const auto progress = make_progress(args, plan.cell_count());
-      options.progress = progress.get();
-      CampaignCoordinatorOptions coordinator;
-      coordinator.cost_priors = cost_priors_or_exit(args);
-      coordinator.driver = std::move(options);
-      par::net::TcpListener listener(static_cast<std::uint16_t>(port),
-                                     net_options_from_env());
-      std::printf("[serve] listening on port %u; waiting for %ld workers\n",
-                  listener.port(), fleet);
-      std::fflush(stdout);
-      const auto transport =
-          listener.accept_workers(static_cast<std::size_t>(fleet));
-      std::printf("[serve] %ld workers connected; scheduling %zu cells\n",
-                  fleet, plan.cell_count());
-      std::fflush(stdout);
-      auto result = run_campaign_coordinator(plan, *transport, coordinator);
-      transport->close();
-      maybe_write_telemetry(args, result.telemetry);
-      return result;
-    }
-    if (connect_mode) {
-      const auto [host, port] = parse_host_port_or_exit(args.get("connect"));
-      CampaignWorkerOptions worker;
-      worker.cell_delay = std::chrono::milliseconds(
-          std::max(0L, env_or_int("AEDB_ELASTIC_CELL_DELAY_MS", 0)));
-      worker.driver = std::move(options);
-      const auto transport =
-          par::net::TcpTransport::connect(host, port, net_options_from_env());
-      std::printf("[connect] joined %s:%u as rank %zu of %zu\n", host.c_str(),
-                  port, transport->rank(), transport->world_size());
-      std::fflush(stdout);
-      WorkerReport report;
-      try {
-        report = run_campaign_worker(plan, *transport, worker);
-      } catch (const CoordinatorLostError& error) {
-        // Distinct exit status: a lost coordinator is an orchestration
-        // failure (restart the coordinator, workers reconnect), not a bad
-        // invocation (exit 2) or a worker bug.
-        std::fprintf(stderr, "error: %s\n", error.what());
-        std::exit(3);
-      }
-      std::printf("[connect] completed %zu cells; coordinator released this "
-                  "worker\n",
-                  report.cells_completed);
-      maybe_write_telemetry(args, report.telemetry);
-      // Like --shard, a worker holds partial results only — the bench
-      // cannot continue on them, so part ways here.
-      std::exit(0);
-    }
-    if (shard_mode) {
-      const auto [index, count] = parse_shard_spec_or_exit(args.get("shard"));
-      const std::string dir = args.get("shard-dir", "shards");
-      // Reject bad plans before burning a shard's worth of compute — the
-      // full/distributed drivers validate inside run(), but run_cells is
-      // below that layer.
-      validate_plan(plan);
-      options.use_cache = false;  // partial grids must never hit the cache
-      options.collect_records = false;
-      const auto cells = cells_for_shard(plan, index, count);
-      // Shard progress counts the shard's own cells, not the whole grid.
-      const auto progress = make_progress(args, cells.size());
-      options.progress = progress.get();
-      std::printf("[shard %zu/%zu] running %zu of %zu cells\n", index, count,
-                  cells.size(), plan.cell_count());
-      auto records = ExperimentDriver(options).run_cells(plan, cells);
-      // The shard's own telemetry fold (its cells in shard order) — the
-      // campaign-wide fold belongs to the --merge run.
-      if (args.has("telemetry-out")) {
-        maybe_write_telemetry(args, merge_telemetry(records));
-      }
-      std::vector<CellResult> results;
-      results.reserve(cells.size());
-      for (std::size_t i = 0; i < cells.size(); ++i) {
-        results.push_back(CellResult{cells[i].index, std::move(records[i])});
-      }
-      const std::string path = write_manifest(
-          dir, make_manifest(plan, index, count, std::move(results)));
-      std::printf("[shard %zu/%zu] wrote %s\n", index, count, path.c_str());
-      std::exit(0);
-    }
-    if (ranks_mode) {
-      const long ranks = args.get_int("ranks", 0);
-      if (ranks < 1) {
-        std::fprintf(stderr, "error: --ranks needs a positive rank count\n");
-        std::exit(2);
-      }
-      // One meter shared by every rank (it is thread-safe), so the feed
-      // covers the whole world, not one rank's stride.
-      const auto progress = make_progress(args, plan.cell_count());
-      options.progress = progress.get();
-      DistributedDriver::Options distributed;
-      distributed.ranks = static_cast<std::size_t>(ranks);
-      distributed.driver = std::move(options);
-      auto result = DistributedDriver(std::move(distributed)).run(plan);
-      maybe_write_telemetry(args, result.telemetry);
-      return result;
-    }
-    const auto progress = make_progress(args, plan.cell_count());
-    options.progress = progress.get();
-    auto result = ExperimentDriver(std::move(options)).run(plan);
-    maybe_write_telemetry(args, result.telemetry);
-    return result;
+    AEDB_UNREACHABLE("unhandled campaign mode");
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     std::exit(2);
@@ -426,10 +300,11 @@ void print_header(const std::string& bench_name, const std::string& regenerates,
   std::printf("  broadcast at t=30 s, end t=40 s; domains: delay [0,1]/[0,5] s,\n");
   std::printf("  border [-95,-70] dBm, margin [0,3] dB, neighbors [0,50]\n");
   std::printf("scale '%s': %zu networks/eval, %zu runs, %zu evals/run, "
-              "MLS %zux%zu, seed %llu\n",
+              "MLS %zux%zu, seed %llu, fidelity %s\n",
               scale.name.c_str(), scale.networks, scale.runs, scale.evals,
               scale.mls_populations, scale.mls_threads,
-              static_cast<unsigned long long>(scale.seed));
+              static_cast<unsigned long long>(scale.seed),
+              scale.fidelity.c_str());
   std::printf("scenarios:");
   for (const std::string& key : scale.scenarios) {
     std::printf(" %s", key.c_str());
@@ -439,8 +314,8 @@ void print_header(const std::string& bench_name, const std::string& regenerates,
     std::printf(" %s", key.c_str());
   }
   std::printf(")\n");
-  std::printf("  (set AEDB_SCALE=paper, AEDB_SCENARIO=..., or --runs/--evals/"
-              "--scenarios=... to rescale)\n");
+  std::printf("  (set AEDB_SCALE=paper, AEDB_SCENARIO=..., --fidelity=race, "
+              "or --runs/--evals/--scenarios=... to rescale)\n");
   std::printf("================================================================\n\n");
 }
 

@@ -25,9 +25,10 @@ namespace aedbmls::expt {
 void maybe_list_catalogs_and_exit(const CliArgs& args);
 
 /// `resolve_scale`, but invalid input (unknown scale/scenario names,
-/// malformed numeric overrides) prints the error — which lists the valid
-/// options — to stderr and exits with status 2.  Also honours the
-/// `--list-scenarios` / `--list-algorithms` listing flags (exit 0).
+/// malformed numeric overrides, a `--fidelity` tier no swept scenario
+/// declares) prints the error — which lists the valid options — to stderr
+/// and exits with status 2.  Also honours the `--list-scenarios` /
+/// `--list-algorithms` listing flags (exit 0).
 [[nodiscard]] Scale resolve_scale_or_exit(const CliArgs& args);
 
 /// Runs (or merges) a campaign, honouring the distribution flags shared by
@@ -70,7 +71,14 @@ void maybe_list_catalogs_and_exit(const CliArgs& args);
 ///   --telemetry-out=FILE  dump the run's merged telemetry snapshot via
 ///                  the line codec (plain/--ranks/--merge/--serve: the
 ///                  campaign-wide grid-order fold; --shard/--connect: the
-///                  executor's own cells).  Feeds --cost-priors
+///                  executor's own cells).  Written durably — atomic
+///                  tmp+rename with a #crc32 trailer — and feeds straight
+///                  back into --cost-priors
+///   --front-out=DIR  also write the per-scenario reference fronts,
+///                  canonically sorted, as
+///                  reference_<scale>_<fp>_<scenario>.csv under DIR.
+///                  Full-campaign modes only (rejected with --shard /
+///                  --connect, which hold partial results)
 ///   --fault-plan=SPEC  chaos drills: install a seeded deterministic
 ///                  fault-injection plan (grammar in common/fault.hpp,
 ///                  drills in EXPERIMENTS.md "Fault drills & chaos

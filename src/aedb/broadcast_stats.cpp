@@ -4,6 +4,7 @@
 
 #include "common/assert.hpp"
 #include "common/units.hpp"
+#include "sim/core/simulator.hpp"
 
 namespace aedbmls::aedb {
 
@@ -26,6 +27,10 @@ void BroadcastStatsCollector::record_first_rx(NodeId node, sim::Time when) {
   received_[node] = 1;
   first_rx_time_[node] = when;
   ++coverage_;
+  if (stop_simulator_ != nullptr &&
+      (when - origination_).seconds() > stop_bt_beyond_s_) {
+    stop_simulator_->stop();
+  }
 }
 
 void BroadcastStatsCollector::record_data_tx(NodeId node, double tx_power_dbm,

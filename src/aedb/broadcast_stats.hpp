@@ -22,6 +22,10 @@
 #include "common/types.hpp"
 #include "sim/core/time.hpp"
 
+namespace aedbmls::sim {
+class Simulator;
+}  // namespace aedbmls::sim
+
 namespace aedbmls::aedb {
 
 struct BroadcastStats {
@@ -69,6 +73,19 @@ class BroadcastStatsCollector {
     energy_mj_ = 0.0;
     drop_decisions_ = 0;
     mac_drops_ = 0;
+    stop_simulator_ = nullptr;
+    stop_bt_beyond_s_ = 0.0;
+  }
+
+  /// Arms the infeasibility shortcut: a first reception later than
+  /// `bt_beyond_s` after origination stops `simulator` — the caller's
+  /// rejection test is already decided at that point (see
+  /// `ScenarioConfig::stop_when_bt_exceeds_s`).  nullptr disarms (the
+  /// default state; `reset()` also disarms).
+  void arm_infeasibility_stop(sim::Simulator* simulator,
+                              double bt_beyond_s) noexcept {
+    stop_simulator_ = simulator;
+    stop_bt_beyond_s_ = bt_beyond_s;
   }
 
   /// Preallocates the first-reception ledger for `network_size` nodes so
@@ -130,6 +147,8 @@ class BroadcastStatsCollector {
   double energy_mj_ = 0.0;
   std::size_t drop_decisions_ = 0;
   std::uint64_t mac_drops_ = 0;
+  sim::Simulator* stop_simulator_ = nullptr;  ///< armed infeasibility stop
+  double stop_bt_beyond_s_ = 0.0;
 };
 
 }  // namespace aedbmls::aedb

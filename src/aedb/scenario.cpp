@@ -79,15 +79,24 @@ ScenarioConfig make_paper_scenario(int devices_per_km2, std::uint64_t seed,
 }
 
 ScenarioResult run_scenario(const ScenarioConfig& config,
-                            const AedbParams& params,
-                            ScenarioWorkspace* workspace) {
-  if (workspace != nullptr) {
-    return workspace->context_for(config.network).run(config, params, workspace);
-  }
+                            const AedbParams& params) {
   // No workspace: a throwaway context runs the fresh-construction path —
   // the identical code a pooled context executes on first use.
   SimulationContext context;
-  return context.run(config, params, nullptr);
+  return context.run(config, params);
+}
+
+ScenarioResult run_scenario(const ScenarioConfig& config,
+                            const AedbParams& params,
+                            ScenarioWorkspace& workspace) {
+  return workspace.context_for(config.network).run(config, params, workspace);
+}
+
+ScenarioResult run_scenario(const ScenarioConfig& config,
+                            const AedbParams& params,
+                            ScenarioWorkspace* workspace) {
+  return workspace != nullptr ? run_scenario(config, params, *workspace)
+                              : run_scenario(config, params);
 }
 
 }  // namespace aedbmls::aedb

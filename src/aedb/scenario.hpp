@@ -29,6 +29,14 @@ struct ScenarioConfig {
   std::uint32_t data_bytes = 256;     ///< broadcast payload size
   std::uint32_t beacon_bytes = 50;    ///< hello-beacon frame size
   bool random_source = true;          ///< source drawn per network; else node 0
+  /// When >= 0: stop the simulation as soon as any first reception lands
+  /// more than this many seconds after origination.  A conservative
+  /// screen's rejection test is decided the moment one reception proves
+  /// the broadcast time exceeds its remaining budget — the rest of the
+  /// window cannot change the verdict, only make the run more expensive.
+  /// Stopping is a further truncation, so the screen's lower-bound
+  /// argument is untouched.  < 0 (the default) runs to `end_at`.
+  double stop_when_bt_exceeds_s = -1.0;
 };
 
 /// Table II densities: devices per km^2 on the 500 m x 500 m arena.
@@ -125,14 +133,25 @@ class ScenarioWorkspace {
   Stats stats_{};
 };
 
-/// Runs the scenario once with the given protocol configuration.
-/// Deterministic: identical (config, params) always yields identical stats,
-/// with or without a workspace — pooled/re-armed runs are bitwise-identical
-/// to fresh-construction runs.  With a workspace the run is served by a
-/// pooled `SimulationContext` (reused object graph, recycled event arena);
-/// without one a fresh context is built on the stack.
+/// Runs the scenario once with the given protocol configuration on a fresh
+/// (stack-built) `SimulationContext`.  Deterministic: identical
+/// (config, params) always yields identical stats, with or without a
+/// workspace — pooled/re-armed runs are bitwise-identical to
+/// fresh-construction runs.
+[[nodiscard]] ScenarioResult run_scenario(const ScenarioConfig& config,
+                                          const AedbParams& params);
+
+/// As above, but served by one of `workspace`'s pooled `SimulationContext`s
+/// (reused object graph, recycled event arena).
 [[nodiscard]] ScenarioResult run_scenario(const ScenarioConfig& config,
                                           const AedbParams& params,
-                                          ScenarioWorkspace* workspace = nullptr);
+                                          ScenarioWorkspace& workspace);
+
+/// Deprecated pointer spelling: pass the workspace by reference, or omit it
+/// for a fresh run.
+[[deprecated("pass ScenarioWorkspace by reference (or omit it)")]]
+[[nodiscard]] ScenarioResult run_scenario(const ScenarioConfig& config,
+                                          const AedbParams& params,
+                                          ScenarioWorkspace* workspace);
 
 }  // namespace aedbmls::aedb

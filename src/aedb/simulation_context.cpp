@@ -99,8 +99,25 @@ void SimulationContext::configure_apps(const ScenarioConfig& config,
 }
 
 ScenarioResult SimulationContext::run(const ScenarioConfig& config,
+                                      const AedbParams& params) {
+  return run_impl(config, params, nullptr);
+}
+
+ScenarioResult SimulationContext::run(const ScenarioConfig& config,
+                                      const AedbParams& params,
+                                      ScenarioWorkspace& workspace) {
+  return run_impl(config, params, &workspace);
+}
+
+ScenarioResult SimulationContext::run(const ScenarioConfig& config,
                                       const AedbParams& params,
                                       ScenarioWorkspace* workspace) {
+  return run_impl(config, params, workspace);
+}
+
+ScenarioResult SimulationContext::run_impl(const ScenarioConfig& config,
+                                           const AedbParams& params,
+                                           ScenarioWorkspace* workspace) {
   // Note: beacon_start may be *after* broadcast_at — a valid (if unusual)
   // configuration in which forwarders have no neighbor knowledge and fall
   // back to default-power transmissions (exercised by the test suite).
@@ -123,6 +140,10 @@ ScenarioResult SimulationContext::run(const ScenarioConfig& config,
                      simulator_.now(), network_->size());
     apps_[source_index]->originate(message);
   });
+
+  collector_.arm_infeasibility_stop(
+      config.stop_when_bt_exceeds_s >= 0.0 ? &simulator_ : nullptr,
+      config.stop_when_bt_exceeds_s);
 
   simulator_.run_until(config.end_at);
 

@@ -42,11 +42,21 @@ class SimulationContext {
   SimulationContext& operator=(const SimulationContext&) = delete;
 
   /// Runs `config` once with `params` on this context's (re-armed) graph.
-  /// `workspace`, when given, supplies cached topology placements on graph
-  /// (re)builds; it is not used on the rebind hot path.
+  [[nodiscard]] ScenarioResult run(const ScenarioConfig& config,
+                                   const AedbParams& params);
+
+  /// As above; `workspace` supplies cached topology placements on graph
+  /// (re)builds (it is not used on the rebind hot path).
   [[nodiscard]] ScenarioResult run(const ScenarioConfig& config,
                                    const AedbParams& params,
-                                   ScenarioWorkspace* workspace = nullptr);
+                                   ScenarioWorkspace& workspace);
+
+  /// Deprecated pointer spelling: pass the workspace by reference, or omit
+  /// it for topology placement computed in place.
+  [[deprecated("pass ScenarioWorkspace by reference (or omit it)")]]
+  [[nodiscard]] ScenarioResult run(const ScenarioConfig& config,
+                                   const AedbParams& params,
+                                   ScenarioWorkspace* workspace);
 
   /// How runs hit the reuse tiers (test/bench visibility).
   struct Stats {
@@ -57,6 +67,11 @@ class SimulationContext {
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
  private:
+  /// Shared body of the `run` overloads (`workspace` may be null).
+  [[nodiscard]] ScenarioResult run_impl(const ScenarioConfig& config,
+                                        const AedbParams& params,
+                                        ScenarioWorkspace* workspace);
+
   /// Ensures `network_` matches `config`; returns true when the graph was
   /// (re)built and the applications must be re-installed.
   bool bind_network(const sim::NetworkConfig& config, ScenarioWorkspace* workspace);

@@ -1,5 +1,6 @@
 #include "core/mls.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <barrier>
 #include <chrono>
@@ -13,16 +14,70 @@
 namespace aedbmls::core {
 namespace {
 
+/// Canonical order for reported fronts: objectives, then violation, then
+/// decision vector — all lexicographic.  The archive snapshot arrives in
+/// insertion order, which depends on how worker wall-times interleaved;
+/// sorting makes two runs that admitted the same point *set* compare
+/// byte-identical (the race==full contract, and `--front-out` artifacts).
+bool canonical_less(const moo::Solution& a, const moo::Solution& b) {
+  if (a.objectives != b.objectives) return a.objectives < b.objectives;
+  if (a.constraint_violation != b.constraint_violation) {
+    return a.constraint_violation < b.constraint_violation;
+  }
+  return a.x < b.x;
+}
+
+/// Shared state of one island: its population plus the epoch snapshot and
+/// the reset-sample requests served inside the barrier completion step.
+///
+/// `snapshot` is written only by the completion function (while every
+/// non-dropped worker is blocked in the barrier) and read only between
+/// barrier phases, so workers read it without locks; the barrier's
+/// release/acquire ordering publishes it.
+struct Island {
+  SharedPopulation population;
+  ArchiveActor* archive;
+  std::vector<moo::Solution> snapshot;
+  std::vector<std::uint8_t> wants_sample;  ///< slot-indexed reset requests
+
+  Island(std::size_t size, ArchiveActor* archive_actor)
+      : population(size), archive(archive_actor), wants_sample(size, 0) {}
+
+  /// Barrier completion: serve this phase's reset samples in slot order
+  /// (deterministic within the island — the draw order no longer depends
+  /// on which worker reached the archive first), then refresh the epoch
+  /// snapshot every teammate read of the next phase is served from.
+  void on_phase() noexcept {
+    for (std::size_t slot = 0; slot < wants_sample.size(); ++slot) {
+      if (wants_sample[slot] == 0) continue;
+      wants_sample[slot] = 0;
+      auto sampled = archive->sample(1);
+      if (!sampled.empty()) population.set(slot, sampled.front());
+    }
+    snapshot = population.slots();
+  }
+};
+
+/// `std::barrier` requires a nothrow-invocable completion; a small functor
+/// (not `std::function`) satisfies that.
+struct IslandCompletion {
+  Island* island;
+  void operator()() noexcept { island->on_phase(); }
+};
+
+using IslandBarrier = std::barrier<IslandCompletion>;
+
 /// Everything one worker thread needs; shared pieces by reference.
 struct WorkerContext {
   const moo::Problem& problem;
   const MlsConfig& config;
   const std::vector<SearchCriterion>& criteria;
-  SharedPopulation& population;
-  std::barrier<>& population_barrier;
+  Island& island;
+  IslandBarrier& population_barrier;
   ArchiveActor& archive;
+  const moo::EvaluationEngine& evaluator;
   std::size_t slot;     ///< this worker's slot in its population
-  std::size_t budget;   ///< evaluations this worker may spend
+  std::size_t budget;   ///< candidates this worker may walk
   Xoshiro256 rng;
   const moo::Solution* warm_start = nullptr;  ///< optional initial solution
 
@@ -31,6 +86,9 @@ struct WorkerContext {
   std::atomic<std::uint64_t>& accepted;
   std::atomic<std::uint64_t>& rejected_infeasible;
   std::atomic<std::uint64_t>& resets;
+  std::atomic<std::uint64_t>& screened;
+  std::atomic<std::uint64_t>& screen_rejected;
+  std::atomic<std::uint64_t>& promoted;
 };
 
 /// Initial solution: warm start if provided, otherwise random with a few
@@ -61,67 +119,180 @@ moo::Solution initialise_solution(WorkerContext& ctx) {
   return best;
 }
 
-/// The local-search procedure of Fig. 3, lines 1-17.
+/// Teammate `t` from the island's epoch snapshot.  Same draw semantics as
+/// `SharedPopulation::random_other` (single-slot islands use their own
+/// slot and consume no draw), but against the barrier-refreshed copy, so
+/// the pick is independent of how live worker timings interleave.
+const moo::Solution& snapshot_teammate(WorkerContext& ctx) {
+  const std::vector<moo::Solution>& snap = ctx.island.snapshot;
+  if (snap.size() == 1) return snap[ctx.slot];
+  std::size_t pick = ctx.rng.uniform_int(snap.size() - 1);
+  if (pick >= ctx.slot) ++pick;
+  return snap[pick];
+}
+
+/// The local-search procedure of Fig. 3, lines 1-17, with the optional
+/// racing fast path.  Both modes walk the *identical* candidate sequence
+/// and make identical accept/reject decisions; racing only changes how
+/// cheaply a rejection is discovered.
 void worker_loop(WorkerContext ctx) {
   // Lines 1-3: initialise, evaluate, store.
   moo::Solution s = initialise_solution(ctx);
   ctx.archive.insert(s);
-  ctx.population.set(ctx.slot, s);
+  ctx.island.population.set(ctx.slot, s);
 
-  // Line 4: wait until the local population is fully initialised.
+  // Line 4: wait until the local population is fully initialised (the
+  // completion step takes the first epoch snapshot).
   ctx.population_barrier.arrive_and_wait();
 
-  const auto bounds = moo::bounds_vector(ctx.problem);
   const std::size_t budget = ctx.budget;
   std::size_t spent = 1;  // the initial evaluation above (at least one)
   std::size_t iteration = 0;
+
+  // Racing state: the speculative chain and the RNG state recorded after
+  // generating each entry (so an accepted move can discard the stale tail
+  // and resume exactly where sequential generation would be).
+  const std::size_t screen_tier =
+      ctx.config.screen_moves ? ctx.problem.screening_tier() : 0;
+  const std::size_t chain_limit = std::max<std::size_t>(
+      1, ctx.config.screen_chain);
+  std::vector<moo::Solution> chain;
+  std::vector<Xoshiro256> rng_after;
+  std::size_t chain_pos = 0;
+  // Adaptive chain length: speculation pays only while moves keep getting
+  // rejected, so start conservative and double after every fully-walked
+  // chain with no accept (up to the cap); snap back to 1 on an accept.
+  // Length only affects how screens are batched and how many stale-tail
+  // entries an accept discards — never which candidates are walked — so
+  // the trajectory (and the front) stays byte-identical to sequential.
+  std::size_t chain_target = 1;
+  bool grow_pending = false;
+
+  // Lines 6-7: one speculative move from `s` (Eq. 2): teammate `t` guides
+  // the perturbation magnitude, one search criterion picks the variables.
+  const auto generate_candidate = [&ctx, &s](moo::Solution& out) {
+    const moo::Solution& t = snapshot_teammate(ctx);
+    const SearchCriterion& criterion =
+        ctx.criteria[ctx.rng.uniform_int(ctx.criteria.size())];
+    out.x = s.x;
+    for (const std::size_t v : criterion.variables) {
+      out.x[v] =
+          ctx.config.symmetric_step
+              ? moo::symmetric_blx_step(s.x[v], t.x[v], ctx.config.alpha,
+                                        ctx.rng)
+              : moo::paper_blx_step(s.x[v], t.x[v], ctx.config.alpha, ctx.rng);
+    }
+    ctx.problem.clamp(out.x);
+  };
 
   // Line 5: main loop.  Budgets may differ by one across workers (remainder
   // distribution); the reset barriers still line up because a finished
   // worker's arrive_and_drop both completes the phase it is due and removes
   // it from later phases.
   while (spent < budget) {
-    // Line 6: teammate t guides the perturbation magnitude.
-    const moo::Solution t = ctx.population.random_other(ctx.slot, ctx.rng);
-
-    // Line 7: one search criterion, applied variable-wise (Eq. 2).
-    const SearchCriterion& criterion =
-        ctx.criteria[ctx.rng.uniform_int(ctx.criteria.size())];
     moo::Solution candidate;
-    candidate.x = s.x;
-    for (const std::size_t v : criterion.variables) {
-      candidate.x[v] =
-          ctx.config.symmetric_step
-              ? moo::symmetric_blx_step(s.x[v], t.x[v], ctx.config.alpha, ctx.rng)
-              : moo::paper_blx_step(s.x[v], t.x[v], ctx.config.alpha, ctx.rng);
-    }
-    ctx.problem.clamp(candidate.x);
+    bool screen_says_infeasible = false;
 
-    // Line 8: evaluate.
-    ctx.problem.evaluate_into(candidate);
-    ctx.evaluations.fetch_add(1, std::memory_order_relaxed);
-    ++spent;
-
-    // Lines 9-12: accept only feasible perturbations.
-    if (candidate.feasible()) {
-      ctx.archive.insert(candidate);
-      s = std::move(candidate);
-      ctx.population.set(ctx.slot, s);
-      ctx.accepted.fetch_add(1, std::memory_order_relaxed);
+    if (screen_tier != 0) {
+      if (chain_pos >= chain.size()) {
+        // The previous chain was walked to the end without an accept (or
+        // this is the first): rejections are streaking, so batch harder.
+        if (grow_pending) {
+          chain_target = std::min(chain_limit, chain_target * 2);
+        }
+        grow_pending = true;
+        // (Re)fill the chain.  Its length never crosses the next reset
+        // boundary or the budget, so walking it in full keeps the reset
+        // schedule and the spend exactly sequential.
+        const std::size_t until_reset =
+            ctx.config.reset_period - (iteration % ctx.config.reset_period);
+        const std::size_t length =
+            std::min({chain_target, until_reset, budget - spent});
+        chain.assign(length, moo::Solution{});
+        rng_after.assign(length, ctx.rng);
+        for (std::size_t k = 0; k < length; ++k) {
+          generate_candidate(chain[k]);
+          chain[k].fidelity = static_cast<std::uint32_t>(screen_tier);
+          rng_after[k] = ctx.rng;
+        }
+        // One batched conservative screen for the whole chain.
+        ctx.evaluator.evaluate(ctx.problem, chain);
+        ctx.screened.fetch_add(length, std::memory_order_relaxed);
+        chain_pos = 0;
+      }
+      candidate = std::move(chain[chain_pos]);
+      ++chain_pos;
+      // The screen's violation is a lower bound of the full tier's, so a
+      // positive value *proves* the candidate infeasible at full fidelity.
+      screen_says_infeasible = candidate.constraint_violation > 0.0;
     } else {
+      generate_candidate(candidate);
+    }
+
+    ++spent;
+    bool was_accepted = false;
+
+    if (screen_says_infeasible) {
+      // Line 9's feasibility test, decided without a full simulation.
+      ctx.screen_rejected.fetch_add(1, std::memory_order_relaxed);
       ctx.rejected_infeasible.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      if (screen_tier != 0) {
+        // Promote the survivor: acceptance (and archive admission) is
+        // decided by a full-fidelity result only — screen objectives are
+        // discarded wholesale.
+        candidate.objectives.clear();
+        candidate.constraint_violation = 0.0;
+        candidate.evaluated = false;
+        candidate.fidelity = 0;
+        ctx.promoted.fetch_add(1, std::memory_order_relaxed);
+      }
+      // Line 8: evaluate (full fidelity).
+      ctx.evaluator.evaluate(ctx.problem,
+                             std::span<moo::Solution>(&candidate, 1));
+      ctx.evaluations.fetch_add(1, std::memory_order_relaxed);
+
+      // Lines 9-12: accept only feasible perturbations.
+      if (candidate.feasible()) {
+        ctx.archive.insert(candidate);
+        s = std::move(candidate);
+        ctx.island.population.set(ctx.slot, s);
+        ctx.accepted.fetch_add(1, std::memory_order_relaxed);
+        was_accepted = true;
+      } else {
+        ctx.rejected_infeasible.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+
+    if (was_accepted && screen_tier != 0 && !chain.empty()) {
+      // `s` changed: the rest of the chain was generated from the old `s`
+      // and is stale.  Rewind the RNG to just after the accepted
+      // candidate's generation — the state sequential generation would
+      // have here — and drop the tail.
+      ctx.rng = rng_after[chain_pos - 1];
+      chain.clear();
+      rng_after.clear();
+      chain_pos = 0;
+      // Accepts mean we are descending a basin: stop speculating ahead.
+      chain_target = 1;
+      grow_pending = false;
     }
 
     // Lines 13-16: periodic re-initialisation from the external archive.
+    // The sample itself is served in slot order by the barrier completion
+    // (which then refreshes the epoch snapshot); the worker re-reads its
+    // slot after release.
     ++iteration;
     if (iteration % ctx.config.reset_period == 0 && spent < budget) {
-      auto sampled = ctx.archive.sample(1);
-      if (!sampled.empty()) {
-        s = std::move(sampled.front());
-        ctx.population.set(ctx.slot, s);
-      }
+      AEDB_REQUIRE(chain_pos >= chain.size(),
+                   "speculative chain crossed a reset boundary");
+      ctx.island.wants_sample[ctx.slot] = 1;
       ctx.resets.fetch_add(1, std::memory_order_relaxed);
       ctx.population_barrier.arrive_and_wait();
+      s = ctx.island.population.get(ctx.slot);
+      chain.clear();
+      rng_after.clear();
+      chain_pos = 0;
     }
   }
 
@@ -151,21 +322,34 @@ moo::AlgorithmResult AedbMls::run(const moo::Problem& problem,
   ArchiveActor archive(config_.archive_capacity, config_.grid_depth,
                        hash_combine(seed, 0xA2C41));
 
+  // Racing mode batches screens (and promotions) through an engine; a
+  // pool-less fallback keeps the single code path when the caller brings
+  // none.
+  const moo::EvaluationEngine fallback_engine;
+  const moo::EvaluationEngine& engine =
+      config_.evaluator != nullptr ? *config_.evaluator : fallback_engine;
+
   std::atomic<std::uint64_t> evaluations{0};
   std::atomic<std::uint64_t> accepted{0};
   std::atomic<std::uint64_t> rejected{0};
   std::atomic<std::uint64_t> resets{0};
+  std::atomic<std::uint64_t> screened{0};
+  std::atomic<std::uint64_t> screen_rejected{0};
+  std::atomic<std::uint64_t> promoted{0};
 
-  // One SharedPopulation + barrier per island; one OS thread per worker
-  // (the paper's deployment maps islands to cluster nodes and workers to
-  // cores; see DESIGN.md substitution #2).
-  std::vector<std::unique_ptr<SharedPopulation>> populations;
-  std::vector<std::unique_ptr<std::barrier<>>> barriers;
+  // One island (SharedPopulation + epoch snapshot) and barrier per
+  // population; one OS thread per worker (the paper's deployment maps
+  // islands to cluster nodes and workers to cores; see DESIGN.md
+  // substitution #2).  The barrier's completion step serves reset samples
+  // and refreshes the island snapshot.
+  std::vector<std::unique_ptr<Island>> islands;
+  std::vector<std::unique_ptr<IslandBarrier>> barriers;
   for (std::size_t p = 0; p < config_.populations; ++p) {
-    populations.push_back(
-        std::make_unique<SharedPopulation>(config_.threads_per_population));
-    barriers.push_back(std::make_unique<std::barrier<>>(
-        static_cast<std::ptrdiff_t>(config_.threads_per_population)));
+    islands.push_back(
+        std::make_unique<Island>(config_.threads_per_population, &archive));
+    barriers.push_back(std::make_unique<IslandBarrier>(
+        static_cast<std::ptrdiff_t>(config_.threads_per_population),
+        IslandCompletion{islands.back().get()}));
   }
 
   std::vector<std::thread> workers;
@@ -188,9 +372,10 @@ moo::AlgorithmResult AedbMls::run(const moo::Problem& problem,
         WorkerContext ctx{problem,
                           config_,
                           criteria,
-                          *populations[p],
+                          *islands[p],
                           *barriers[p],
                           archive,
+                          engine,
                           w,
                           budget,
                           Xoshiro256(worker_seed),
@@ -198,7 +383,10 @@ moo::AlgorithmResult AedbMls::run(const moo::Problem& problem,
                           evaluations,
                           accepted,
                           rejected,
-                          resets};
+                          resets,
+                          screened,
+                          screen_rejected,
+                          promoted};
         worker_loop(std::move(ctx));
       });
     }
@@ -207,6 +395,7 @@ moo::AlgorithmResult AedbMls::run(const moo::Problem& problem,
 
   moo::AlgorithmResult result;
   result.front = archive.snapshot();
+  std::sort(result.front.begin(), result.front.end(), canonical_less);
   archive.stop();
 
   stats_ = Stats{};
@@ -215,6 +404,9 @@ moo::AlgorithmResult AedbMls::run(const moo::Problem& problem,
   stats_.rejected_infeasible = rejected.load();
   stats_.resets = resets.load();
   stats_.archive_inserts_accepted = archive.counters().inserts_accepted;
+  stats_.screened = screened.load();
+  stats_.screen_rejected = screen_rejected.load();
+  stats_.promoted = promoted.load();
 
   result.evaluations = stats_.evaluations;
   result.wall_seconds =

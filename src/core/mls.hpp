@@ -7,20 +7,50 @@
 ///  * `populations` islands, each a `SharedPopulation` of
 ///    `threads_per_population` worker threads (shared memory);
 ///  * one external AGA archive running as a message-passing actor;
-///  * every worker repeatedly: picks a teammate `t` from its island, draws
-///    one of the sensitivity-guided search criteria, applies the Eq.-2
-///    BLX-α step to that criterion's variables, evaluates, and accepts the
-///    move iff the perturbed solution is feasible (bt < 2 s), submitting
-///    every accepted solution to the archive;
+///  * every worker repeatedly: picks a teammate `t` from its island's
+///    *epoch snapshot* (see below), draws one of the sensitivity-guided
+///    search criteria, applies the Eq.-2 BLX-α step to that criterion's
+///    variables, evaluates, and accepts the move iff the perturbed
+///    solution is feasible (bt < 2 s), submitting every accepted solution
+///    to the archive;
 ///  * every `reset_period` iterations the island discards its population,
 ///    re-seeds every slot from the archive, and re-synchronises its
 ///    threads.
 ///
-/// Budget: `evaluations_per_thread` evaluations per worker (250 in the
-/// paper => 8×12×250 = 24000 total).  Runs are deterministic given
-/// (problem, seed) up to the arrival order of archive messages, which can
-/// only change *which* equally non-dominated points the bounded archive
-/// retains.
+/// **Epoch snapshots.**  Teammate reads are served from a per-island copy
+/// of the population refreshed only at barrier phases (initialisation and
+/// resets), and reset re-seeding is served *inside* the barrier's
+/// completion step in slot order.  Between barriers a worker's candidate
+/// sequence is therefore a pure function of (seed, snapshot) — never of
+/// how worker wall-times interleave — which is what lets the racing mode
+/// below change per-candidate cost without changing any trajectory.
+///
+/// **Racing mode** (`screen_moves`).  When the problem exposes a
+/// conservative screening tier (`Problem::screening_tier`), each worker
+/// generates a speculative chain of candidates under the assumption its
+/// moves get rejected (each chain entry snapshots the RNG so an accepted
+/// move can discard the stale tail and resume exactly where sequential
+/// generation would be), screens the chain in one
+/// `EvaluationEngine` batch at the cheap tier, and walks it in order:
+/// screen-proven-infeasible candidates are rejected without ever paying a
+/// full simulation; survivors are promoted to one full-fidelity
+/// evaluation that alone decides acceptance.  Chain length adapts to the
+/// local accept rate — it starts at 1, doubles (capped at `screen_chain`)
+/// after every fully-rejected chain and snaps back to 1 on an accept —
+/// so rejection-dominated regions batch aggressively while basin descents
+/// waste almost no speculative screens.  Archive admission is
+/// full-fidelity-only, so the accept/reject sequence — and hence the
+/// archive content and the reported front — is identical to a
+/// non-screened run; only the wall time changes.
+///
+/// Budget: `evaluations_per_thread` *candidates* per worker (250 in the
+/// paper => 8×12×250 = 24000 total; in racing mode screen-rejected
+/// candidates consume budget without a full simulation).  Runs are
+/// deterministic given (problem, seed) up to the arrival order of archive
+/// messages, which can only change *which* equally non-dominated points
+/// the bounded archive retains and what reset re-seeding samples (the
+/// returned front is canonically sorted, so runs that admit the same
+/// point set compare byte-identical).
 
 #include <optional>
 
@@ -56,6 +86,25 @@ struct MlsConfig {
   /// zero-bias symmetric variant.
   bool symmetric_step = false;
 
+  /// Racing mode: screen speculative neighbourhood moves at the problem's
+  /// conservative screening tier and promote only survivors to the full
+  /// evaluation (see file comment).  Falls back to the plain sequential
+  /// loop when `Problem::screening_tier()` is 0.  Admitted fronts are
+  /// byte-identical either way.
+  bool screen_moves = false;
+
+  /// Cap on the speculative chain length in racing mode.  The actual
+  /// length is adaptive — 1 after an accepted move, doubling up to this
+  /// cap while chains keep getting fully rejected — so the cap only
+  /// bounds how hard rejection streaks are batched; it never costs
+  /// speculative screens during basin descents.
+  std::size_t screen_chain = 8;
+
+  /// Engine the racing mode batches screens (and promotions) through; null
+  /// uses a private pool-less engine — same results, no cross-thread
+  /// batching.
+  const moo::EvaluationEngine* evaluator = nullptr;
+
   /// Optional warm start (the CellDE+MLS hybrid seeds islands from a
   /// previous front instead of random points).
   std::vector<moo::Solution> initial_solutions;
@@ -71,11 +120,15 @@ class AedbMls final : public moo::Algorithm {
 
   /// Aggregate behaviour counters of the last run (test/diagnostic).
   struct Stats {
-    std::uint64_t evaluations = 0;
+    std::uint64_t evaluations = 0;          ///< *full-fidelity* evaluations
     std::uint64_t accepted_moves = 0;       ///< feasible ŝ replacing s
     std::uint64_t rejected_infeasible = 0;  ///< ŝ failing the bt constraint
     std::uint64_t resets = 0;               ///< per-thread re-initialisations
     std::uint64_t archive_inserts_accepted = 0;
+    // Racing-mode counters (zero in plain mode).
+    std::uint64_t screened = 0;         ///< candidates screened at low fidelity
+    std::uint64_t screen_rejected = 0;  ///< rejected by the screen alone
+    std::uint64_t promoted = 0;         ///< screen survivors fully evaluated
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 

@@ -30,4 +30,9 @@ moo::Solution SharedPopulation::random_other(std::size_t slot,
   return slots_[pick];
 }
 
+std::vector<moo::Solution> SharedPopulation::slots() const {
+  std::lock_guard lock(mutex_);
+  return slots_;
+}
+
 }  // namespace aedbmls::core

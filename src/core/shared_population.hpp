@@ -33,6 +33,10 @@ class SharedPopulation {
   [[nodiscard]] moo::Solution random_other(std::size_t slot,
                                            Xoshiro256& rng) const;
 
+  /// Consistent copy of every slot (one lock), slot-indexed — the island
+  /// epoch snapshot teammate reads are served from.
+  [[nodiscard]] std::vector<moo::Solution> slots() const;
+
   [[nodiscard]] std::size_t size() const noexcept { return slots_.size(); }
 
  private:

@@ -10,7 +10,8 @@
 namespace aedbmls::expt {
 namespace {
 
-core::MlsConfig mls_config_for(const Scale& scale) {
+core::MlsConfig mls_config_for(const Scale& scale,
+                               const moo::EvaluationEngine* evaluator) {
   core::MlsConfig config;
   config.populations = scale.mls_populations;
   config.threads_per_population = scale.mls_threads;
@@ -22,31 +23,37 @@ core::MlsConfig mls_config_for(const Scale& scale) {
   config.alpha = 0.2;        // the paper's tuned value (§V)
   config.archive_capacity = 100;
   config.criteria = core::aedb_criteria();
+  // `--fidelity=race`: screen speculative moves at the problem's
+  // conservative tier, promote survivors — byte-identical fronts, cheaper
+  // rejections.  (Problems without a conservative tier fall back to the
+  // sequential loop inside AedbMls.)
+  config.screen_moves = scale.fidelity == "race";
+  config.evaluator = evaluator;
   return config;
 }
 
 std::unique_ptr<moo::Algorithm> make_mls(const Scale& scale,
-                                         const moo::EvaluationEngine*) {
-  return std::make_unique<core::AedbMls>(mls_config_for(scale));
+                                         const moo::EvaluationEngine* evaluator) {
+  return std::make_unique<core::AedbMls>(mls_config_for(scale, evaluator));
 }
 
 std::unique_ptr<moo::Algorithm> make_mls_sym(const Scale& scale,
-                                             const moo::EvaluationEngine*) {
-  core::MlsConfig config = mls_config_for(scale);
+                                             const moo::EvaluationEngine* evaluator) {
+  core::MlsConfig config = mls_config_for(scale, evaluator);
   config.symmetric_step = true;
   return std::make_unique<core::AedbMls>(config);
 }
 
 std::unique_ptr<moo::Algorithm> make_mls_unguided(
-    const Scale& scale, const moo::EvaluationEngine*) {
-  core::MlsConfig config = mls_config_for(scale);
+    const Scale& scale, const moo::EvaluationEngine* evaluator) {
+  core::MlsConfig config = mls_config_for(scale, evaluator);
   config.criteria = core::all_variables_criterion(5);
   return std::make_unique<core::AedbMls>(config);
 }
 
 std::unique_ptr<moo::Algorithm> make_mls_pervar(const Scale& scale,
-                                                const moo::EvaluationEngine*) {
-  core::MlsConfig config = mls_config_for(scale);
+                                                const moo::EvaluationEngine* evaluator) {
+  core::MlsConfig config = mls_config_for(scale, evaluator);
   config.criteria = core::per_variable_criteria(5);
   return std::make_unique<core::AedbMls>(config);
 }
@@ -59,7 +66,7 @@ std::unique_ptr<moo::Algorithm> make_hybrid(
   config.cellde.max_evaluations = scale.evals;
   config.cellde.archive_capacity = 100;
   config.cellde.evaluator = evaluator;
-  config.mls = mls_config_for(scale);
+  config.mls = mls_config_for(scale, evaluator);
   config.mls.evaluations_per_thread =
       std::max<std::size_t>(1, config.mls.evaluations_per_thread / 2);
   config.mls.extra_evaluation_workers = 0;  // halved budget, no remainder

@@ -1,0 +1,282 @@
+#include "expt/campaign_options.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <system_error>
+
+#include "common/durable_file.hpp"
+#include "expt/campaign_service.hpp"
+#include "expt/scenario_catalog.hpp"
+#include "moo/core/front_io.hpp"
+
+namespace aedbmls::expt {
+namespace {
+
+[[noreturn]] void fail(const std::string& message) {
+  throw std::invalid_argument(message);
+}
+
+/// `--shard=i/N` with 0-based i in [0, N).
+void parse_shard_spec(const std::string& spec, CampaignOptions& out) {
+  const auto bad = [&spec]() {
+    fail("bad --shard spec '" + spec +
+         "'; expected i/N with 0 <= i < N (e.g. --shard=0/3)");
+  };
+  const std::size_t slash = spec.find('/');
+  if (slash == std::string::npos || slash == 0 || slash + 1 >= spec.size()) {
+    bad();
+  }
+  // Digits only: stoull would accept (and wrap) a leading '-', turning a
+  // typo like 0/-3 into a 2^64-ish shard count instead of an error.
+  for (const char c : spec) {
+    if (c != '/' && (c < '0' || c > '9')) bad();
+  }
+  std::size_t index = 0;
+  std::size_t count = 0;
+  try {
+    std::size_t pos = 0;
+    index = std::stoull(spec.substr(0, slash), &pos);
+    if (pos != slash) bad();
+    count = std::stoull(spec.substr(slash + 1), &pos);
+    if (pos != spec.size() - slash - 1) bad();
+  } catch (const std::invalid_argument&) {
+    bad();
+  } catch (const std::out_of_range&) {
+    bad();
+  }
+  if (count == 0 || index >= count) bad();
+  out.shard_index = index;
+  out.shard_count = count;
+}
+
+/// `--connect=HOST:PORT` with a non-empty host and a port in [1, 65535].
+void parse_host_port(const std::string& spec, CampaignOptions& out) {
+  const auto bad = [&spec]() {
+    fail("bad --connect spec '" + spec +
+         "'; expected HOST:PORT (e.g. --connect=127.0.0.1:7000)");
+  };
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= spec.size()) {
+    bad();
+  }
+  const std::string port_token = spec.substr(colon + 1);
+  for (const char c : port_token) {
+    if (c < '0' || c > '9') bad();
+  }
+  unsigned long port = 0;
+  try {
+    std::size_t pos = 0;
+    port = std::stoul(port_token, &pos);
+    if (pos != port_token.size()) bad();
+  } catch (const std::invalid_argument&) {
+    bad();
+  } catch (const std::out_of_range&) {
+    bad();
+  }
+  if (port == 0 || port > 65535) bad();
+  out.connect_host = spec.substr(0, colon);
+  out.connect_port = static_cast<std::uint16_t>(port);
+}
+
+/// One distribution mode: its flag spelling, the mode it selects and the
+/// operand parser.  The whole mutual-exclusion policy is this table plus
+/// the single conflict loop in `parse_campaign_options` — adding a mode
+/// is one row, not another scattered if-chain.
+struct ModeRow {
+  const char* flag;
+  CampaignMode mode;
+  void (*parse)(const CliArgs&, CampaignOptions&);
+};
+
+constexpr ModeRow kModes[] = {
+    {"ranks", CampaignMode::kRanks,
+     [](const CliArgs& args, CampaignOptions& out) {
+       const long ranks = args.get_int("ranks", 0);
+       if (ranks < 1) fail("--ranks needs a positive rank count");
+       out.ranks = static_cast<std::size_t>(ranks);
+     }},
+    {"shard", CampaignMode::kShard,
+     [](const CliArgs& args, CampaignOptions& out) {
+       parse_shard_spec(args.get("shard"), out);
+       out.shard_dir = args.get("shard-dir", "shards");
+     }},
+    {"merge", CampaignMode::kMerge,
+     [](const CliArgs& args, CampaignOptions& out) {
+       out.merge_dir = args.get("merge");
+       if (out.merge_dir.empty()) fail("--merge needs a directory");
+     }},
+    {"serve", CampaignMode::kServe,
+     [](const CliArgs& args, CampaignOptions& out) {
+       const long port = args.get_int("serve", -1);
+       if (port < 0 || port > 65535) {
+         fail("--serve needs a port in [0, 65535] (0 picks an ephemeral "
+              "port)");
+       }
+       out.serve_port = static_cast<std::uint16_t>(port);
+       // In serve mode the coordinator runs no cells itself, so --workers
+       // names the fleet: how many worker processes to accept.
+       const long fleet = args.get_int("workers", 0);
+       if (fleet < 1) {
+         fail("--serve needs --workers=N (the number of worker processes "
+              "that will --connect)");
+       }
+       out.fleet = static_cast<std::size_t>(fleet);
+     }},
+    {"connect", CampaignMode::kConnect,
+     [](const CliArgs& args, CampaignOptions& out) {
+       parse_host_port(args.get("connect"), out);
+     }},
+};
+
+/// The mode-independent flags, same table idiom.
+struct FlagRow {
+  const char* flag;
+  void (*parse)(const CliArgs&, CampaignOptions&);
+};
+
+constexpr FlagRow kFlags[] = {
+    {"cache-dir",
+     [](const CliArgs& args, CampaignOptions& out) {
+       out.cache_dir = args.get("cache-dir");
+     }},
+    {"progress",
+     [](const CliArgs& args, CampaignOptions& out) {
+       out.progress = true;
+       const long every = args.get_int("progress", 1);
+       out.progress_every = static_cast<std::size_t>(std::max(1L, every));
+     }},
+    {"telemetry-out",
+     [](const CliArgs& args, CampaignOptions& out) {
+       out.telemetry_out = args.get("telemetry-out");
+       if (out.telemetry_out.empty()) {
+         fail("--telemetry-out needs a file path");
+       }
+     }},
+    {"front-out",
+     [](const CliArgs& args, CampaignOptions& out) {
+       out.front_out = args.get("front-out");
+       if (out.front_out.empty()) fail("--front-out needs a directory");
+     }},
+    {"cost-priors",
+     [](const CliArgs& args, CampaignOptions& out) {
+       out.cost_priors = load_cost_priors(args.get("cost-priors"));
+     }},
+    {"fault-plan",
+     [](const CliArgs& args, CampaignOptions& out) {
+       out.fault_plan = args.get("fault-plan");
+     }},
+};
+
+/// Canonical front order: objectives lexicographically, then constraint
+/// violation, then the decision vector — a total order over distinct
+/// points, so two runs that admit the same set serialize identically no
+/// matter what order the archive saw them in.
+bool canonical_less(const moo::Solution& a, const moo::Solution& b) {
+  if (a.objectives != b.objectives) return a.objectives < b.objectives;
+  if (a.constraint_violation != b.constraint_violation) {
+    return a.constraint_violation < b.constraint_violation;
+  }
+  return a.x < b.x;
+}
+
+}  // namespace
+
+CampaignOptions parse_campaign_options(const CliArgs& args) {
+  CampaignOptions out;
+  // Distribution modes are mutually exclusive; name the exact clashing
+  // pair so the fix is obvious from the message alone.
+  const char* first = nullptr;
+  for (const ModeRow& row : kModes) {
+    if (!args.has(row.flag)) continue;
+    if (first != nullptr) {
+      fail(std::string("--") + first + " conflicts with --" + row.flag +
+           "; pick one distribution mode (--ranks | --shard | --merge | "
+           "--serve | --connect)");
+    }
+    first = row.flag;
+    out.mode = row.mode;
+    row.parse(args, out);
+  }
+  for (const FlagRow& row : kFlags) {
+    if (args.has(row.flag)) row.parse(args, out);
+  }
+  // Partial-result executors never hold the full record set a reference
+  // front needs.
+  if (!out.front_out.empty() && (out.mode == CampaignMode::kShard ||
+                                 out.mode == CampaignMode::kConnect)) {
+    fail("--front-out needs the full campaign; it cannot be combined with "
+         "--shard or --connect (merge or run unsharded instead)");
+  }
+  return out;
+}
+
+std::map<std::string, double> load_cost_priors(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("cannot read --cost-priors file " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string payload = buffer.str();
+  // `--telemetry-out` dumps carry a #crc32 trailer; a mismatch means the
+  // file was truncated or bit-flipped since it was written.  Trailer-less
+  // files (hand-written priors, pre-trailer dumps) still load.
+  if (io::strip_crc_trailer(payload) == io::CrcCheck::kMismatch) {
+    fail("--cost-priors file " + path +
+         " failed its #crc32 check (truncated or corrupt dump)");
+  }
+  telemetry::Snapshot snapshot;
+  std::istringstream lines(payload);
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(lines, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    try {
+      telemetry::decode_snapshot_line(line, snapshot);
+    } catch (const std::invalid_argument& error) {
+      fail(path + " line " + std::to_string(line_number) + ": " +
+           error.what());
+    }
+  }
+  auto priors = cost_priors_from_snapshot(snapshot);
+  // A prior keyed by a scenario the catalog cannot resolve will never
+  // match a plan cell — a silent no-op that usually means the dump came
+  // from a different (or renamed) catalog.  Reject it loudly instead.
+  for (const auto& [key, unused] : priors) {
+    if (!ScenarioCatalog::instance().contains(key)) {
+      fail("--cost-priors file " + path + ": unknown scenario key '" + key +
+           "' (not in the scenario catalog)");
+    }
+  }
+  return priors;
+}
+
+std::size_t write_telemetry_file(const std::string& path,
+                                 const telemetry::Snapshot& snapshot) {
+  const auto lines = telemetry::encode_snapshot(snapshot);
+  std::string payload;
+  for (const std::string& line : lines) {
+    payload += line;
+    payload += '\n';
+  }
+  io::atomic_write_file_or_throw(path, io::with_crc_trailer(payload));
+  return lines.size();
+}
+
+void write_front_csvs(const std::string& dir, const ExperimentPlan& plan,
+                      const std::vector<RunRecord>& records) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  for (const std::string& scenario : plan.scenarios) {
+    auto front = reference_front(records, scenario);
+    std::sort(front.begin(), front.end(), canonical_less);
+    std::ostringstream path;
+    path << dir << "/reference_" << plan.scale.name << "_" << std::hex
+         << plan.fingerprint() << std::dec << "_" << scenario << ".csv";
+    io::atomic_write_file_or_throw(path.str(), moo::front_to_csv(front));
+  }
+}
+
+}  // namespace aedbmls::expt

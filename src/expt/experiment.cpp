@@ -57,6 +57,20 @@ RunRecord run_cell(const std::string& algorithm, const std::string& scenario,
   registry.counter("evaluations").add(result.evaluations);
   registry.counter("sim.runs").add(problem.scenario_runs());
   registry.counter("sim.events").add(problem.events_executed());
+  // Per-fidelity-tier work split (tier 0 = "full").  Only tiers that did
+  // work emit counters, so exact campaigns' snapshots gain nothing but the
+  // renamed-from-totals full tier.
+  for (std::size_t tier = 0; tier < problem.fidelity_levels(); ++tier) {
+    const auto counts = problem.tier_counters(tier);
+    if (counts.evaluations == 0 && counts.scenario_runs == 0) continue;
+    const std::string& name =
+        tier == 0 ? "full" : spec.fidelity_tiers[tier - 1].name;
+    registry.counter("fidelity." + name + ".evals").add(counts.evaluations);
+    registry.counter("fidelity." + name + ".sim_runs")
+        .add(counts.scenario_runs);
+    registry.counter("fidelity." + name + ".sim_events")
+        .add(counts.events_executed);
+  }
   registry.counter("front.points").add(record.front.size());
   registry.gauge("cell.wall_s").observe(result.wall_seconds);
   registry.gauge("scenario." + scenario + ".wall_s")
@@ -145,6 +159,10 @@ std::uint64_t ExperimentPlan::fingerprint() const {
   key = hash_combine(key, scale.networks);
   key = hash_combine(key, scale.mls_populations);
   key = hash_combine(key, scale.mls_threads);
+  // "race" deliberately hashes like "full": its admitted fronts are
+  // byte-identical by contract, so the two may share cached CSVs.  A forced
+  // tier is approximate and must never collide with exact results.
+  key = hash_string(key, scale.fidelity == "race" ? "full" : scale.fidelity);
   for (const std::string& name : algorithms) key = hash_string(key, name);
   for (const std::string& name : scenarios) {
     key = hash_string(key, name);
@@ -162,7 +180,7 @@ std::uint64_t ExperimentPlan::fingerprint() const {
             spec->phy.noise_floor_dbm, spec->phy.interference_floor_dbm,
             spec->phy.bitrate_bps, spec->phy.max_tx_power_dbm,
             spec->phy.min_tx_power_dbm, spec->beacon_period_s,
-            spec->beacon_jitter_s}) {
+            spec->beacon_jitter_s, spec->bt_limit_s}) {
         key = hash_combine(key, std::bit_cast<std::uint64_t>(field));
       }
       for (const std::uint64_t field :
@@ -176,6 +194,17 @@ std::uint64_t ExperimentPlan::fingerprint() const {
             static_cast<std::uint64_t>(spec->data_bytes),
             static_cast<std::uint64_t>(spec->beacon_bytes)}) {
         key = hash_combine(key, field);
+      }
+      // The fidelity ladder shapes forced-tier (and future screened)
+      // results; editing it must invalidate cached approximate CSVs.
+      key = hash_combine(key, spec->fidelity_tiers.size());
+      for (const aedb::FidelityTier& tier : spec->fidelity_tiers) {
+        key = hash_string(key, tier.name);
+        key = hash_combine(key, std::bit_cast<std::uint64_t>(tier.window_s));
+        key = hash_combine(key,
+                           std::bit_cast<std::uint64_t>(tier.node_fraction));
+        key = hash_combine(key, tier.max_networks);
+        key = hash_combine(key, static_cast<std::uint64_t>(tier.conservative));
       }
     }
   }
@@ -215,6 +244,16 @@ void validate_plan(const ExperimentPlan& plan) {
   };
   reject_duplicates(plan.scenarios, "scenario");
   reject_duplicates(plan.algorithms, "algorithm");
+  // A fidelity mode must name "full", "race", or a ladder tier of *every*
+  // swept scenario — a typo'd tier silently running the exact campaign
+  // would defeat the point of asking for a cheap one.
+  if (plan.scale.fidelity != "full" && plan.scale.fidelity != "race") {
+    for (const std::string& scenario : plan.scenarios) {
+      if (const auto spec = ScenarioCatalog::instance().find(scenario)) {
+        (void)spec->fidelity_tier_index(plan.scale.fidelity);
+      }
+    }
+  }
 }
 
 std::vector<moo::Solution> reference_front(

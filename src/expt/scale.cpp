@@ -124,10 +124,23 @@ Scale resolve_scale(const CliArgs& args) {
           "AEDB_SCENARIO is set but names no scenarios (got '" + env + "')");
     }
   }
+  // Fidelity mode: "full"/"race", or a ladder tier name (validated against
+  // every swept scenario's ladder below — a typo'd tier silently running
+  // the exact campaign would defeat the point of asking for a cheap one).
+  scale.fidelity = args.get("fidelity", env_or("AEDB_FIDELITY", "full"));
+  if (scale.fidelity.empty()) {
+    throw std::invalid_argument(
+        "--fidelity is empty; expected full, race, or a ladder tier name "
+        "(e.g. screen)");
+  }
   // Every key must resolve (throws with the catalog listing otherwise) and
   // be unique — a duplicated key would double-count records downstream.
   for (std::size_t i = 0; i < scale.scenarios.size(); ++i) {
-    (void)ScenarioCatalog::instance().resolve(scale.scenarios[i]);
+    const ScenarioSpec spec =
+        ScenarioCatalog::instance().resolve(scale.scenarios[i]);
+    if (scale.fidelity != "full" && scale.fidelity != "race") {
+      (void)spec.fidelity_tier_index(scale.fidelity);  // throws when unknown
+    }
     for (std::size_t j = 0; j < i; ++j) {
       if (scale.scenarios[i] == scale.scenarios[j]) {
         throw std::invalid_argument("duplicate scenario '" +

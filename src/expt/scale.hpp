@@ -41,6 +41,17 @@ struct Scale {
   /// Scenario-catalog keys swept by the experiment (Table II by default).
   std::vector<std::string> scenarios{"d100", "d200", "d300"};
   std::uint64_t seed = 20130520;  ///< master seed (network ensemble + runs)
+  /// Fidelity mode (`--fidelity=` / AEDB_FIDELITY):
+  ///   * "full" (default) — every evaluation at full fidelity, exactly
+  ///     today's behaviour;
+  ///   * "race"           — exact results, cheaper search: optimisers
+  ///     screen speculative moves at the scenario's conservative tier and
+  ///     promote survivors to full fidelity; admitted fronts are
+  ///     byte-identical to a "full" run;
+  ///   * a ladder tier name (e.g. "screen", "sketch") — the whole campaign
+  ///     is rebased onto that tier: explicitly approximate, fingerprinted
+  ///     distinctly so cached CSVs never mix with exact results.
+  std::string fidelity = "full";
 
   /// Total MLS workers for the configured island layout.
   [[nodiscard]] std::size_t mls_workers() const {

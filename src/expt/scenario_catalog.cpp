@@ -11,6 +11,38 @@
 
 namespace aedbmls::expt {
 
+std::vector<aedb::FidelityTier> default_fidelity_ladder() {
+  // The screen window is the bt constraint (2 s) plus a small margin: a
+  // feasible candidate's broadcast has, by definition, finished inside it,
+  // so the screen loses nothing — while hopeless candidates are rejected
+  // after simulating ~2.25 s instead of 10 s per network (often on the
+  // first network, thanks to the conservative early exit).
+  aedb::FidelityTier screen;
+  screen.name = "screen";
+  screen.window_s = 2.25;
+  screen.conservative = true;
+
+  aedb::FidelityTier sketch;
+  sketch.name = "sketch";
+  sketch.window_s = 2.25;
+  sketch.node_fraction = 0.5;
+  sketch.max_networks = 1;
+
+  return {screen, sketch};
+}
+
+std::size_t ScenarioSpec::fidelity_tier_index(const std::string& name) const {
+  if (name == "full") return 0;
+  for (std::size_t t = 0; t < fidelity_tiers.size(); ++t) {
+    if (fidelity_tiers[t].name == name) return t + 1;
+  }
+  std::ostringstream os;
+  os << "unknown fidelity tier '" << name << "' for scenario '" << key
+     << "'; ladder: full";
+  for (const aedb::FidelityTier& tier : fidelity_tiers) os << ' ' << tier.name;
+  throw std::invalid_argument(os.str());
+}
+
 std::size_t ScenarioSpec::node_count() const {
   return aedb::nodes_for_density(devices_per_km2, area_width_m, area_height_m);
 }
@@ -48,6 +80,14 @@ aedb::AedbTuningProblem::Config ScenarioSpec::problem_config(
   config.network_count = scale.networks;
   config.seed = scale.seed;
   config.scenario = scenario_config(scale.seed);
+  config.bt_limit_s = bt_limit_s;
+  config.tiers = fidelity_tiers;
+  // "full" and "race" both evaluate the exact problem ("race" changes the
+  // optimiser's search policy, not the evaluation); a tier name rebases the
+  // whole campaign onto that tier — an explicitly approximate mode.
+  if (scale.fidelity != "full" && scale.fidelity != "race") {
+    config.forced_tier = fidelity_tier_index(scale.fidelity);
+  }
   return config;
 }
 
@@ -153,6 +193,20 @@ ScenarioCatalog::ScenarioCatalog() {
     spec.devices_per_km2 = 200;
     spec.data_bytes = 1024;
     spec.beacon_bytes = 100;
+    specs_.push_back(spec);
+  }
+  {
+    // The default screen window (2.25 s past the broadcast) spans the
+    // whole 0.5 s x networks rejection budget here, so one truncated
+    // network often proves a candidate infeasible on its own — the regime
+    // where racing campaigns earn their keep.
+    ScenarioSpec spec;
+    spec.key = "deadline-tight";
+    spec.description =
+        "safety-alert deadline: Table II d200 under a 0.5 s broadcast-time "
+        "limit";
+    spec.devices_per_km2 = 200;
+    spec.bt_limit_s = 0.5;
     specs_.push_back(spec);
   }
 }

@@ -17,6 +17,10 @@
 ///                         pedestrian speeds
 ///   mixed-speed         — one crowd spanning pedestrian..vehicular speeds
 ///   payload-small/-large — 64 B / 1024 B broadcast payload sweep points
+///   deadline-tight      — Table II d200 under a 0.5 s broadcast-time
+///                         limit (safety-alert deadline); most of the
+///                         parameter space is provably infeasible from the
+///                         screen tier alone, so racing campaigns shine
 ///
 /// A `ScenarioSpec` is pure data covering the full simulator surface —
 /// arena/mobility, propagation (log-distance + correlated shadowing +
@@ -35,6 +39,17 @@
 namespace aedbmls::expt {
 
 struct Scale;
+
+/// The ladder every catalog entry carries by default (tier 0 — the full
+/// spec — is implicit):
+///   1. "screen" — conservative: the simulated window is truncated to
+///      bt_limit + 0.25 s past the broadcast; a truncated run is an exact
+///      prefix of the full run, so a screen-detected bt violation proves
+///      the candidate infeasible at full fidelity (no false rejections).
+///   2. "sketch" — aggressive shape probe: same truncated window, half the
+///      nodes, a single evaluation network.  Not conservative; never used
+///      for admission decisions.
+[[nodiscard]] std::vector<aedb::FidelityTier> default_fidelity_ladder();
 
 struct ScenarioSpec {
   std::string key;          ///< catalog name, e.g. "d200", "sparse-wide"
@@ -68,8 +83,23 @@ struct ScenarioSpec {
   double beacon_period_s = 1.0;     ///< hello-beacon interval
   double beacon_jitter_s = 0.010;   ///< per-beacon random jitter window
 
+  /// Feasibility deadline: mean broadcast time above this is a constraint
+  /// violation (`AedbTuningProblem::Config::bt_limit_s`).  Part of the
+  /// workload — a tighter deadline reshapes the feasible region — so it is
+  /// hashed into the plan fingerprint like the physics fields above.
+  double bt_limit_s = 2.0;
+
+  /// Reduced-fidelity tiers layered on this spec (tier t is entry t-1;
+  /// tier 0, the full spec, is implicit).  Hashed into the plan
+  /// fingerprint, so editing the ladder invalidates cached CSVs.
+  std::vector<aedb::FidelityTier> fidelity_tiers = default_fidelity_ladder();
+
   /// Node count on this arena (density x area).
   [[nodiscard]] std::size_t node_count() const;
+
+  /// Tier index for a ladder name ("full" = 0); throws
+  /// `std::invalid_argument` listing the ladder when unknown.
+  [[nodiscard]] std::size_t fidelity_tier_index(const std::string& name) const;
 
   /// Base simulator scenario for evaluation network `network_index` of the
   /// ensemble identified by `seed`.

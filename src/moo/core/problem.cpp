@@ -29,8 +29,14 @@ void Problem::evaluate_batch(std::span<Solution> batch) const {
   }
 }
 
+Problem::Result Problem::evaluate_at(const std::vector<double>& x,
+                                     std::size_t tier) const {
+  AEDB_REQUIRE(tier < fidelity_levels(), "fidelity tier out of range");
+  return evaluate(x);
+}
+
 void Problem::evaluate_into(Solution& s) const {
-  store_result(s, evaluate(s.x));
+  store_result(s, evaluate_at(s.x, s.fidelity));
 }
 
 void Problem::store_result(Solution& s, Result r) const {

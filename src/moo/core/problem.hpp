@@ -37,15 +37,42 @@ class Problem {
   /// Evaluates a decision vector.  Thread-safe.
   [[nodiscard]] virtual Result evaluate(const std::vector<double>& x) const = 0;
 
-  /// Evaluates every not-yet-evaluated solution in `batch`, in index order.
-  /// The default delegates to `evaluate_into` per solution; problems with
-  /// expensive per-evaluation state (simulators, caches) override this to
-  /// amortise that state across the whole batch.
+  // ---- fidelity ladder ----
+  //
+  // A problem may expose cheaper approximate evaluations as numbered tiers.
+  // Tier 0 is always the full/exact evaluation (`evaluate`); tiers
+  // 1..fidelity_levels()-1 trade accuracy for speed.  Callers tag each
+  // `Solution` with the requested tier (`Solution::fidelity`); only tier-0
+  // results may be admitted to archives or reported fronts.
+
+  /// Number of fidelity tiers, including the full tier 0.  Problems without
+  /// a ladder report 1.
+  [[nodiscard]] virtual std::size_t fidelity_levels() const { return 1; }
+
+  /// Tier index optimisers should use for conservative screening, or 0 when
+  /// none qualifies.  A *conservative* tier guarantees its reported
+  /// constraint violation is a lower bound of the full tier's, so
+  /// `violation > 0` at that tier proves the candidate infeasible at tier 0
+  /// (zero false rejections of feasible points).
+  [[nodiscard]] virtual std::size_t screening_tier() const { return 0; }
+
+  /// Evaluates `x` at fidelity tier `tier`.  The default ignores the tier
+  /// and delegates to `evaluate`; ladder-bearing problems override it.
+  /// Must satisfy `evaluate_at(x, 0) == evaluate(x)` bit-for-bit.
+  [[nodiscard]] virtual Result evaluate_at(const std::vector<double>& x,
+                                           std::size_t tier) const;
+
+  /// Evaluates every not-yet-evaluated solution in `batch`, in index order,
+  /// each at its requested `Solution::fidelity` tier (a batch may mix
+  /// screening and confirmation runs).  The default delegates to
+  /// `evaluate_into` per solution; problems with expensive per-evaluation
+  /// state (simulators, caches) override this to amortise that state across
+  /// the whole batch.
   ///
   /// Contract (relied on by `EvaluationEngine`):
-  ///  * results must be identical to per-solution `evaluate()` calls — a
-  ///    solution's outcome may depend only on its decision vector, never on
-  ///    batch composition, batch order, or the calling thread;
+  ///  * results must be identical to per-solution `evaluate_at()` calls — a
+  ///    solution's outcome may depend only on its decision vector and tier,
+  ///    never on batch composition, batch order, or the calling thread;
   ///  * the override must be thread-safe for disjoint sub-spans: the engine
   ///    invokes it concurrently on non-overlapping slices of a population.
   virtual void evaluate_batch(std::span<Solution> batch) const;
@@ -61,7 +88,7 @@ class Problem {
   /// Clamps `x` into the box constraints, in place.
   void clamp(std::vector<double>& x) const;
 
-  /// Evaluates `s.x` and fills objectives/violation.
+  /// Evaluates `s.x` at `s.fidelity` and fills objectives/violation.
   void evaluate_into(Solution& s) const;
 
   /// Validates `r` against this problem and stores it into `s`, marking it

@@ -8,6 +8,7 @@
 /// aggregated non-negative amount: 0 means feasible (Deb's
 /// constraint-domination uses the magnitude).
 
+#include <cstdint>
 #include <vector>
 
 namespace aedbmls::moo {
@@ -17,6 +18,11 @@ struct Solution {
   std::vector<double> objectives;   ///< minimised objective values
   double constraint_violation = 0.0;
   bool evaluated = false;
+  /// Fidelity tier index (`Problem::fidelity_levels`).  0 = full/exact —
+  /// the only tier whose results may enter archives or reported fronts.
+  /// Set before evaluation to request a tier; after evaluation it records
+  /// the tier the objectives were produced at.
+  std::uint32_t fidelity = 0;
 
   [[nodiscard]] bool feasible() const noexcept {
     return constraint_violation <= 0.0;

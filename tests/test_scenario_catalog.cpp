@@ -75,6 +75,19 @@ TEST(ScenarioCatalog, NonPaperRegimesExistWithTheRightPhysics) {
   EXPECT_EQ(small.devices_per_km2, large.devices_per_km2);
   EXPECT_EQ(small.mobility, large.mobility);
   EXPECT_EQ(small.shadowing_sigma_db, large.shadowing_sigma_db);
+
+  const ScenarioSpec deadline = catalog.resolve("deadline-tight");
+  EXPECT_EQ(deadline.devices_per_km2, 200);
+  EXPECT_LT(deadline.bt_limit_s, 2.0);
+  // The deadline must reach the tuning problem, and the default screen
+  // window must span the whole ensemble rejection budget
+  // (bt_limit x networks) so a single truncated network can prove
+  // infeasibility on its own — the regime the racing bench leans on.
+  Scale scale;
+  scale.networks = 3;
+  EXPECT_EQ(deadline.problem_config(scale).bt_limit_s, deadline.bt_limit_s);
+  EXPECT_GT(deadline.fidelity_tiers.at(0).window_s,
+            deadline.bt_limit_s * static_cast<double>(scale.networks));
 }
 
 TEST(ScenarioCatalog, SpecCoversTheFullSimulatorSurface) {
@@ -137,7 +150,7 @@ TEST(ScenarioCatalog, NewSpecFieldsMustBeTriagedHere) {
   // expected size.  Gated to the CI platform so exotic ABIs don't trip
   // over padding differences.
 #if defined(__x86_64__) && defined(__linux__)
-  EXPECT_EQ(sizeof(ScenarioSpec), 288u)
+  EXPECT_EQ(sizeof(ScenarioSpec), 320u)  // + fidelity ladder + bt_limit_s
       << "ScenarioSpec changed shape: triage the new/resized field for "
          "scenario_config() and ExperimentPlan::fingerprint()";
 #else

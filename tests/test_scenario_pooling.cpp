@@ -50,7 +50,7 @@ TEST(ScenarioPooling, PooledRunsMatchFreshConstructionBitwise) {
 
   ScenarioWorkspace workspace;
   for (int repeat = 0; repeat < 3; ++repeat) {
-    const ScenarioResult pooled = run_scenario(config, params, &workspace);
+    const ScenarioResult pooled = run_scenario(config, params, workspace);
     expect_bitwise_equal(pooled, fresh);
   }
   // First run built the context; the two repeats hit the pooled graph.
@@ -70,8 +70,8 @@ TEST(ScenarioPooling, RepeatedRunsWithDifferentParamsStayFaithful) {
 
   ScenarioWorkspace workspace;
   for (int repeat = 0; repeat < 2; ++repeat) {
-    expect_bitwise_equal(run_scenario(config, a, &workspace), fresh_a);
-    expect_bitwise_equal(run_scenario(config, b, &workspace), fresh_b);
+    expect_bitwise_equal(run_scenario(config, a, workspace), fresh_a);
+    expect_bitwise_equal(run_scenario(config, b, workspace), fresh_b);
   }
 }
 
@@ -90,8 +90,8 @@ TEST(ScenarioPooling, InterleavedScenariosShareOneContext) {
 
   ScenarioWorkspace workspace;
   for (int repeat = 0; repeat < 2; ++repeat) {
-    expect_bitwise_equal(run_scenario(walk, params, &workspace), fresh_walk);
-    expect_bitwise_equal(run_scenario(still, params, &workspace), fresh_still);
+    expect_bitwise_equal(run_scenario(walk, params, workspace), fresh_walk);
+    expect_bitwise_equal(run_scenario(still, params, workspace), fresh_still);
   }
   EXPECT_EQ(workspace.stats().context_misses, 1u);
   EXPECT_EQ(workspace.stats().context_hits, 3u);
@@ -147,7 +147,7 @@ TEST(ScenarioPooling, ContextEvictionKeepsResultsCorrect) {
     for (int net = 0; net < kTopologies; ++net) {
       const ScenarioConfig config =
           make_paper_scenario(100, 3, static_cast<std::uint64_t>(net));
-      expect_bitwise_equal(run_scenario(config, params, &workspace),
+      expect_bitwise_equal(run_scenario(config, params, workspace),
                            run_scenario(config, params));
     }
   }
@@ -178,7 +178,7 @@ TEST_P(RegimePooling, FreshEqualsPooledBitwise) {
 
   ScenarioWorkspace workspace;
   for (int repeat = 0; repeat < 3; ++repeat) {
-    expect_bitwise_equal(run_scenario(config, params, &workspace), fresh);
+    expect_bitwise_equal(run_scenario(config, params, workspace), fresh);
   }
   EXPECT_EQ(workspace.stats().context_misses, 1u);
   EXPECT_EQ(workspace.stats().context_hits, 2u);
