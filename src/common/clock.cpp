@@ -1,0 +1,15 @@
+#include "common/clock.hpp"
+
+#include <chrono>
+
+namespace aedbmls {
+
+std::int64_t monotonic_ns() {
+  // The one sanctioned steady_clock read (see clock.hpp for the
+  // contract aedb-lint enforces around it).
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace aedbmls

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <filesystem>
-#include <fstream>
 #include <sstream>
 
 #include "common/assert.hpp"
+#include "common/durable_file.hpp"
 #include "common/logging.hpp"
 
 namespace aedbmls {
@@ -97,13 +97,13 @@ bool write_text_file(const std::string& path, const std::string& content) {
   std::error_code ec;
   const auto parent = std::filesystem::path(path).parent_path();
   if (!parent.empty()) std::filesystem::create_directories(parent, ec);
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) {
-    log_warn("cannot open for writing: ", path);
+  // Atomic tmp+rename, so a crash mid-write can never leave a torn
+  // result table (same policy as every campaign artifact).
+  if (!io::atomic_write_file(path, content)) {
+    log_warn("cannot write: ", path);
     return false;
   }
-  out << content;
-  return static_cast<bool>(out);
+  return true;
 }
 
 }  // namespace aedbmls

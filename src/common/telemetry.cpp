@@ -214,8 +214,7 @@ ProgressMeter::ProgressMeter(std::size_t total_cells, std::size_t every,
                              std::FILE* stream)
     : total_(total_cells),
       every_(every == 0 ? 1 : every),
-      stream_(stream),
-      start_(std::chrono::steady_clock::now()) {}
+      stream_(stream) {}
 
 void ProgressMeter::cell_done(const Snapshot& cell) {
   const std::lock_guard<std::mutex> lock(mutex_);
@@ -235,14 +234,14 @@ std::size_t ProgressMeter::done() const {
 }
 
 void ProgressMeter::print_locked() {
-  const double elapsed_s =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
-          .count();
+  const double elapsed_s = timer_.seconds();
   std::string line = "[progress] " + std::to_string(done_) + "/" +
                      std::to_string(total_) + " cells";
   const auto evaluations = merged_.counters.find("evaluations");
   if (evaluations != merged_.counters.end() && elapsed_s > 0.0) {
     char buffer[64];
+    // lint: allow(float-format): progress feed goes to stderr for humans,
+    // never into artifact bytes; %.17g here would be noise.
     std::snprintf(buffer, sizeof buffer, " | %.1f evals/s",
                   static_cast<double>(evaluations->second) / elapsed_s);
     line += buffer;
@@ -261,6 +260,8 @@ void ProgressMeter::print_locked() {
     const std::string key = name.substr(
         kPrefix.size(), name.size() - kSuffix.size() - kPrefix.size());
     char buffer[96];
+    // lint: allow(float-format): human-facing stderr progress line, not an
+    // artifact codec path (cached CSV bytes are verified unperturbed).
     std::snprintf(buffer, sizeof buffer, " | %s %.2f s/cell", key.c_str(),
                   stat.mean());
     line += buffer;

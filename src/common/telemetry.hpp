@@ -31,7 +31,6 @@
 /// default, so progress never lands in piped stdout or cached CSVs).
 
 #include <array>
-#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <deque>
@@ -39,6 +38,8 @@
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/clock.hpp"
 
 namespace aedbmls::telemetry {
 
@@ -182,7 +183,7 @@ class ProgressMeter {
   const std::size_t total_;
   const std::size_t every_;
   std::FILE* const stream_;
-  const std::chrono::steady_clock::time_point start_;
+  const ElapsedTimer timer_;
 };
 
 }  // namespace aedbmls::telemetry

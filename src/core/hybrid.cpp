@@ -1,8 +1,7 @@
 #include "core/hybrid.hpp"
 
-#include <chrono>
-
 #include "common/assert.hpp"
+#include "common/clock.hpp"
 #include "common/rng.hpp"
 #include "moo/core/front_io.hpp"
 
@@ -10,7 +9,7 @@ namespace aedbmls::core {
 
 moo::AlgorithmResult CellDeMlsHybrid::run(const moo::Problem& problem,
                                           std::uint64_t seed) {
-  const auto start = std::chrono::steady_clock::now();
+  const ElapsedTimer timer;
   AEDB_REQUIRE(config_.explore_fraction > 0.0 && config_.explore_fraction < 1.0,
                "explore_fraction must be in (0,1)");
 
@@ -42,9 +41,7 @@ moo::AlgorithmResult CellDeMlsHybrid::run(const moo::Problem& problem,
   moo::AlgorithmResult result;
   result.front = moo::merge_fronts({phase1.front, phase2.front});
   result.evaluations = phase1.evaluations + phase2.evaluations;
-  result.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  result.wall_seconds = timer.seconds();
   return result;
 }
 

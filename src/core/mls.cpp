@@ -3,11 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <barrier>
-#include <chrono>
 #include <memory>
 #include <thread>
 
 #include "common/assert.hpp"
+#include "common/clock.hpp"
 #include "moo/core/nds.hpp"
 #include "moo/operators/blx_alpha.hpp"
 
@@ -306,7 +306,7 @@ void worker_loop(WorkerContext ctx) {
 
 moo::AlgorithmResult AedbMls::run(const moo::Problem& problem,
                                   std::uint64_t seed) {
-  const auto start = std::chrono::steady_clock::now();
+  const ElapsedTimer timer;
   AEDB_REQUIRE(config_.populations >= 1, "need at least one population");
   AEDB_REQUIRE(config_.threads_per_population >= 1, "need at least one thread");
   AEDB_REQUIRE(config_.reset_period >= 1, "reset period must be >= 1");
@@ -409,9 +409,7 @@ moo::AlgorithmResult AedbMls::run(const moo::Problem& problem,
   stats_.promoted = promoted.load();
 
   result.evaluations = stats_.evaluations;
-  result.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  result.wall_seconds = timer.seconds();
   return result;
 }
 

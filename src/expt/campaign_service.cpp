@@ -4,13 +4,13 @@
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <map>
 #include <set>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 #include <string_view>
 #include <thread>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -221,6 +221,11 @@ ExperimentResult run_campaign_coordinator(
       !result.from_cache && options.journal && driver.use_cache;
   const std::string journal_path =
       campaign_journal_path(driver.cache_dir, plan);
+  // lint: allow(durable-io): append-mode journal is flushed per record by
+  // design (crash resume needs every completed cell on disk immediately);
+  // the startup rewrite above it goes through io::atomic_write_file and
+  // each record carries its own CRC, so torn tails replay their valid
+  // prefix (see load_campaign_journal).
   std::ofstream journal;
   if (journaling) {
     std::size_t replayed = 0;
@@ -272,7 +277,7 @@ ExperimentResult run_campaign_coordinator(
   enum class WorkerState { kUnknown, kWorking, kParked, kDone, kGone };
   std::vector<WorkerState> state(transport.world_size(),
                                  WorkerState::kUnknown);
-  std::unordered_map<std::size_t, std::size_t> in_flight;
+  std::map<std::size_t, std::size_t> in_flight;
   std::size_t resolved = 0;
   std::size_t gone = 0;
   auto resolve = [&](std::size_t worker, WorkerState terminal) {

@@ -1,9 +1,9 @@
 #include "moo/algorithms/cellde.hpp"
 
 #include <array>
-#include <chrono>
 
 #include "common/assert.hpp"
+#include "common/clock.hpp"
 #include "moo/core/crowding_archive.hpp"
 #include "moo/core/dominance.hpp"
 #include "moo/core/nds.hpp"
@@ -11,7 +11,7 @@
 namespace aedbmls::moo {
 
 AlgorithmResult CellDe::run(const Problem& problem, std::uint64_t seed) {
-  const auto start = std::chrono::steady_clock::now();
+  const ElapsedTimer timer;
   const std::size_t w = config_.grid_width;
   const std::size_t h = config_.grid_height;
   const std::size_t n = w * h;
@@ -93,9 +93,7 @@ AlgorithmResult CellDe::run(const Problem& problem, std::uint64_t seed) {
   AlgorithmResult result;
   result.front = archive.contents();
   result.evaluations = evaluations;
-  result.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  result.wall_seconds = timer.seconds();
   return result;
 }
 

@@ -1,17 +1,17 @@
 #include "moo/algorithms/nsga2.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <numeric>
 
 #include "common/assert.hpp"
+#include "common/clock.hpp"
 #include "moo/core/nds.hpp"
 #include "moo/operators/selection.hpp"
 
 namespace aedbmls::moo {
 
 AlgorithmResult Nsga2::run(const Problem& problem, std::uint64_t seed) {
-  const auto start = std::chrono::steady_clock::now();
+  const ElapsedTimer timer;
   AEDB_REQUIRE(config_.population_size >= 4, "population too small");
 
   Xoshiro256 rng(seed);
@@ -89,9 +89,7 @@ AlgorithmResult Nsga2::run(const Problem& problem, std::uint64_t seed) {
   AlgorithmResult result;
   result.front = non_dominated_subset(population);
   result.evaluations = evaluations;
-  result.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  result.wall_seconds = timer.seconds();
   return result;
 }
 

@@ -1,13 +1,12 @@
 #include "moo/algorithms/random_search.hpp"
 
-#include <chrono>
-
+#include "common/clock.hpp"
 #include "moo/core/crowding_archive.hpp"
 
 namespace aedbmls::moo {
 
 AlgorithmResult RandomSearch::run(const Problem& problem, std::uint64_t seed) {
-  const auto start = std::chrono::steady_clock::now();
+  const ElapsedTimer timer;
   Xoshiro256 rng(seed);
   CrowdingArchive archive(config_.archive_capacity);
 
@@ -25,9 +24,7 @@ AlgorithmResult RandomSearch::run(const Problem& problem, std::uint64_t seed) {
   AlgorithmResult result;
   result.front = archive.contents();
   result.evaluations = evaluations;
-  result.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  result.wall_seconds = timer.seconds();
   return result;
 }
 

@@ -1,12 +1,12 @@
 #include "moo/algorithms/spea2.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <limits>
 #include <numeric>
 
 #include "common/assert.hpp"
+#include "common/clock.hpp"
 #include "common/math_utils.hpp"
 #include "moo/core/dominance.hpp"
 #include "moo/core/nds.hpp"
@@ -83,7 +83,7 @@ void truncate(std::vector<Solution>& archive, std::size_t target) {
 }  // namespace
 
 AlgorithmResult Spea2::run(const Problem& problem, std::uint64_t seed) {
-  const auto start = std::chrono::steady_clock::now();
+  const ElapsedTimer timer;
   AEDB_REQUIRE(config_.population_size >= 4, "population too small");
   AEDB_REQUIRE(config_.archive_size >= 4, "archive too small");
 
@@ -156,9 +156,7 @@ AlgorithmResult Spea2::run(const Problem& problem, std::uint64_t seed) {
   AlgorithmResult result;
   result.front = non_dominated_subset(archive);
   result.evaluations = evaluations;
-  result.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  result.wall_seconds = timer.seconds();
   return result;
 }
 

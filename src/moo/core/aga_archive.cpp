@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
+#include <map>
 
 #include "common/assert.hpp"
 #include "moo/core/dominance.hpp"
@@ -66,7 +66,12 @@ std::uint64_t AgaArchive::cell_of(const std::vector<double>& objectives) const {
 }
 
 std::size_t AgaArchive::max_cell_count() const {
-  std::unordered_map<std::uint64_t, std::size_t> counts;
+  // std::map, not a hash map: archive contents reach the admitted fronts
+  // (and so the campaign CSVs), and the project-wide determinism contract
+  // keeps hash/pointer iteration order out of anything that can touch
+  // output bytes (docs/DETERMINISM.md).  At archive capacities (~100) the
+  // tree map is not measurable on any profile.
+  std::map<std::uint64_t, std::size_t> counts;
   std::size_t best = 0;
   for (const Solution& s : members_) {
     best = std::max(best, ++counts[cell_of(s.objectives)]);
@@ -113,7 +118,7 @@ bool AgaArchive::try_insert(const Solution& candidate) {
   const std::size_t candidate_index = members_.size() - 1;
   const std::uint64_t candidate_cell = cell_of(candidate.objectives);
 
-  std::unordered_map<std::uint64_t, std::size_t> counts;
+  std::map<std::uint64_t, std::size_t> counts;  // ordered: see max_cell_count
   for (const Solution& s : members_) ++counts[cell_of(s.objectives)];
 
   // Most crowded cell(s); the candidate is only accepted if its region is

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/clock.hpp"
 #include "common/fault.hpp"
 #include "common/logging.hpp"
 #include "common/rng.hpp"
@@ -28,10 +29,6 @@ namespace aedbmls::par::net {
 namespace {
 
 constexpr const char* kNetMagic = "aedbmls-net 1";
-
-std::int64_t now_ns() {
-  return std::chrono::steady_clock::now().time_since_epoch().count();
-}
 
 std::string errno_string(int err) {
   return std::string(std::strerror(err));
@@ -171,7 +168,7 @@ struct TcpTransport::Impl {
         reason = "recv failed: " + errno_string(errno);
         break;
       }
-      peer.last_seen_ns.store(now_ns(), std::memory_order_release);
+      peer.last_seen_ns.store(monotonic_ns(), std::memory_order_release);
       if (fault::fire("net.frame.corrupt")) buffer[0] ^= 0x20;
       try {
         decoder.feed({buffer, static_cast<std::size_t>(n)});
@@ -234,7 +231,7 @@ struct TcpTransport::Impl {
         if (heartbeat.count() > 0) write_frame(*peer, FrameType::kHeartbeat, "");
         if (deadline.count() > 0) {
           const auto silent_ns =
-              now_ns() - peer->last_seen_ns.load(std::memory_order_acquire);
+              monotonic_ns() - peer->last_seen_ns.load(std::memory_order_acquire);
           if (silent_ns > deadline.count() * 1'000'000) {
             report_left(*peer, "heartbeat deadline exceeded");
           }
@@ -245,7 +242,7 @@ struct TcpTransport::Impl {
 
   void start() {
     for (auto& peer : peers) {
-      peer->last_seen_ns.store(now_ns(), std::memory_order_release);
+      peer->last_seen_ns.store(monotonic_ns(), std::memory_order_release);
       peer->reader = std::thread([this, p = peer.get()] { reader_loop(*p); });
     }
     monitor = std::thread([this] { monitor_loop(); });

@@ -1,0 +1,17 @@
+// Broken-suppression fixture: three ways to get a [lint-suppression]
+// diagnostic — no justification, unknown rule id, and a stale allow
+// that no longer matches any finding.
+#include <fstream>
+#include <string>
+
+void dump(const std::string& path) {
+  // lint: allow(durable-io)
+  std::ofstream out(path);
+  out << path;
+}
+
+// lint: allow(no-such-rule): not a rule id aedb-lint knows
+int answer() { return 42; }
+
+// lint: allow(float-format): nothing on the next line prints a float
+int stale() { return 7; }

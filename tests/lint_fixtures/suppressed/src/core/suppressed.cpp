@@ -1,0 +1,13 @@
+// Suppression fixture: every finding here carries a justified
+// `lint: allow`, so linting this tree exits 0.
+#include <cstdint>
+#include <unordered_map>
+
+std::uint64_t max_count(
+    const std::unordered_map<std::uint64_t, std::uint64_t>& counts) {
+  std::uint64_t best = 0;
+  // lint: allow(determinism-hazards): max() is an order-independent fold;
+  // no byte of output depends on hash iteration order.
+  for (const auto& [key, value] : counts) best = value > best ? value : best;
+  return best;
+}

@@ -1,0 +1,7 @@
+#pragma once
+
+// header-hygiene fixture: <iostream> in a header plus a namespace-scope
+// `using namespace`.
+#include <iostream>
+
+using namespace std;

@@ -1,0 +1,11 @@
+// float-format fixture.  Named like the real codec file on purpose:
+// aedb-lint suffix-matches codec paths, so this triggers both the
+// printf-conversion and the to_string-on-double checks.
+#include <cstdio>
+#include <string>
+
+std::string render(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%f", value);
+  return buffer + std::to_string(value);
+}

@@ -1,0 +1,12 @@
+// determinism-hazards fixture: range-for and .begin() over an
+// unordered_map, whose hash order could leak into output bytes.
+#include <cstdint>
+#include <unordered_map>
+
+std::uint64_t fold() {
+  std::unordered_map<std::uint64_t, std::uint64_t> counts;
+  std::uint64_t sum = 0;
+  for (const auto& [key, value] : counts) sum += value;
+  if (counts.begin() != counts.end()) ++sum;
+  return sum;
+}

@@ -1,0 +1,9 @@
+// durable-io fixture: a raw ofstream writing an artifact, bypassing
+// io::atomic_write_file and the #crc32 trailer.
+#include <fstream>
+#include <string>
+
+void dump(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+}

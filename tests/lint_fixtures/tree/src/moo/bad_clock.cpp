@@ -1,0 +1,9 @@
+// determinism-hazards fixture: a steady_clock read outside common/clock.
+#include <chrono>
+
+double elapsed() {
+  const auto start = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}

@@ -1,0 +1,17 @@
+// Clean fixture: no rule should fire here.  Exercises the lexer's
+// blind spots on purpose — banned identifiers in comments, strings and
+// raw strings must NOT be reported:
+//   std::ofstream, steady_clock, time(nullptr)
+#include "common/rng.hpp"
+
+#include <string>
+
+namespace {
+
+const char* kDoc = "call time() or fopen() — only words in a string";
+const char* kRaw = R"(std::rand and random_device, quoted "inside" raw)";
+const int kSeparated = 1'000'000;  // digit separators are not char literals
+
+}  // namespace
+
+int clean(int x) { return x + kSeparated + (kDoc == kRaw ? 1 : 0); }

@@ -1,0 +1,6 @@
+// layer-deps fixture: sim/ reaching up into expt/ inverts the layer
+// order.  Also the seed file for the CI gate-the-gate step, which
+// asserts the lint job WOULD fail on this diagnostic.
+#include "expt/experiment.hpp"
+
+int simulate() { return 0; }

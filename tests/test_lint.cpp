@@ -1,0 +1,215 @@
+// Drives the aedb-lint binary (tools/lint) against committed fixture
+// trees and asserts exact diagnostics, exit codes, --only/--baseline
+// semantics and suppression handling — then self-checks the real
+// src/ bench/ tests/ tree, which must stay lint-clean.
+//
+// AEDB_LINT_BIN, AEDB_LINT_FIXTURES and AEDB_LINT_REPO_ROOT are injected
+// by tests/CMakeLists.txt.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string out;  // stdout only
+  std::vector<std::string> lines;
+};
+
+RunResult run_lint(const std::string& arguments) {
+  const std::string command =
+      std::string(AEDB_LINT_BIN) + " " + arguments + " 2>/dev/null";
+  std::FILE* pipe = ::popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << command;
+  RunResult result;
+  if (pipe == nullptr) return result;
+  char buffer[4096];
+  while (std::fgets(buffer, sizeof buffer, pipe) != nullptr) {
+    result.out += buffer;
+  }
+  const int status = ::pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  std::istringstream in(result.out);
+  for (std::string line; std::getline(in, line);) {
+    result.lines.push_back(line);
+  }
+  return result;
+}
+
+std::string fixture(const std::string& relative) {
+  return std::string(AEDB_LINT_FIXTURES) + "/" + relative;
+}
+
+/// True when some output line contains `needle` (fixture paths are
+/// printed absolute, so expectations pin path tails + messages).
+bool has_line_with(const RunResult& result, const std::string& needle) {
+  for (const std::string& line : result.lines) {
+    if (line.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+TEST(Lint, ListRulesNamesEveryRule) {
+  const RunResult result = run_lint("--list-rules");
+  EXPECT_EQ(result.exit_code, 0);
+  for (const char* rule :
+       {"layer-deps", "determinism-hazards", "durable-io", "float-format",
+        "header-hygiene", "lint-suppression"}) {
+    EXPECT_TRUE(has_line_with(result, rule)) << rule << "\n" << result.out;
+  }
+}
+
+TEST(Lint, FixtureTreeProducesExactDiagnostics) {
+  const RunResult result = run_lint(fixture("tree"));
+  EXPECT_EQ(result.exit_code, 1);
+  // One entry per expected diagnostic: path tail, line, rule.
+  const std::vector<std::string> expected = {
+      "src/sim/bad_include.cpp:4: [layer-deps] include "
+      "\"expt/experiment.hpp\" from layer 'sim' inverts the dependency "
+      "order common -> par -> sim -> moo -> aedb -> core -> expt",
+      "src/moo/bad_clock.cpp:5: [determinism-hazards] "
+      "std::chrono::steady_clock outside common/clock — route timing "
+      "through aedbmls::monotonic_ns()/ElapsedTimer so every wall-clock "
+      "read stays auditable",
+      "src/moo/bad_clock.cpp:6: [determinism-hazards] "
+      "std::chrono::steady_clock outside common/clock — route timing "
+      "through aedbmls::monotonic_ns()/ElapsedTimer so every wall-clock "
+      "read stays auditable",
+      "src/core/bad_unordered.cpp:9: [determinism-hazards] iteration over "
+      "unordered container 'counts'",
+      "src/core/bad_unordered.cpp:10: [determinism-hazards] iteration over "
+      "unordered container 'counts'",
+      "src/expt/bad_durable.cpp:7: [durable-io] std::ofstream outside "
+      "common/durable_file",
+      "src/common/telemetry.cpp:9: [float-format] float format '%f' in a "
+      "codec file",
+      "src/common/telemetry.cpp:10: [float-format] std::to_string on "
+      "'value' (declared double/float) in a codec file",
+      "src/aedb/bad_header.hpp:5: [header-hygiene] <iostream> in a header",
+      "src/aedb/bad_header.hpp:7: [header-hygiene] 'using namespace' in a "
+      "header",
+  };
+  EXPECT_EQ(result.lines.size(), expected.size()) << result.out;
+  for (const std::string& entry : expected) {
+    EXPECT_TRUE(has_line_with(result, entry)) << entry << "\n" << result.out;
+  }
+  // The clean fixture (banned identifiers in comments/strings/raw
+  // strings, digit separators) must not appear at all.
+  EXPECT_FALSE(has_line_with(result, "clean.cpp")) << result.out;
+}
+
+TEST(Lint, SingleCleanFileExitsZeroSilently) {
+  const RunResult result = run_lint(fixture("tree/src/par/clean.cpp"));
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_TRUE(result.out.empty()) << result.out;
+}
+
+TEST(Lint, JustifiedSuppressionSilencesTheFinding) {
+  const RunResult result = run_lint(fixture("suppressed"));
+  EXPECT_EQ(result.exit_code, 0) << result.out;
+  EXPECT_TRUE(result.out.empty()) << result.out;
+}
+
+TEST(Lint, BrokenSuppressionsAreThemselvesFindings) {
+  const RunResult result = run_lint(fixture("broken"));
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_EQ(result.lines.size(), 4u) << result.out;
+  // Missing justification: the suppression is rejected, so the raw
+  // ofstream finding it tried to cover surfaces too.
+  EXPECT_TRUE(has_line_with(
+      result, "broken.cpp:8: [lint-suppression] suppression for "
+              "'durable-io' is missing its justification"))
+      << result.out;
+  EXPECT_TRUE(has_line_with(result, "broken.cpp:9: [durable-io]"))
+      << result.out;
+  EXPECT_TRUE(has_line_with(
+      result, "broken.cpp:13: [lint-suppression] suppression names unknown "
+              "rule 'no-such-rule'"))
+      << result.out;
+  EXPECT_TRUE(has_line_with(
+      result,
+      "broken.cpp:16: [lint-suppression] suppression for 'float-format' "
+      "never fired"))
+      << result.out;
+}
+
+TEST(Lint, OnlyFiltersPrintedFindings) {
+  const RunResult result =
+      run_lint("--only=layer-deps " + fixture("tree"));
+  EXPECT_EQ(result.exit_code, 1);
+  ASSERT_EQ(result.lines.size(), 1u) << result.out;
+  EXPECT_TRUE(has_line_with(result, "[layer-deps]")) << result.out;
+
+  const RunResult clean =
+      run_lint("--only=durable-io " + fixture("tree/src/moo/bad_clock.cpp"));
+  EXPECT_EQ(clean.exit_code, 0) << clean.out;
+
+  const RunResult bogus = run_lint("--only=no-such-rule " + fixture("tree"));
+  EXPECT_EQ(bogus.exit_code, 2);
+}
+
+TEST(Lint, BaselineMasksExactDiagnosticStrings) {
+  const RunResult before = run_lint(fixture("tree"));
+  ASSERT_EQ(before.exit_code, 1);
+  ASSERT_FALSE(before.lines.empty());
+
+  const char* tmpdir = std::getenv("TMPDIR");
+  const std::string baseline_path =
+      std::string(tmpdir != nullptr ? tmpdir : "/tmp") +
+      "/aedb_lint_baseline.txt";
+  {
+    std::ofstream baseline(baseline_path);
+    ASSERT_TRUE(baseline.is_open());
+    baseline << "# grandfathered findings (test baseline)\n\n";
+    for (const std::string& line : before.lines) baseline << line << "\n";
+  }
+
+  // Full baseline: everything masked, exit 0.
+  const RunResult masked =
+      run_lint("--baseline=" + baseline_path + " " + fixture("tree"));
+  EXPECT_EQ(masked.exit_code, 0) << masked.out;
+  EXPECT_TRUE(masked.out.empty()) << masked.out;
+
+  // Drop one entry: exactly that finding resurfaces.
+  {
+    std::ofstream baseline(baseline_path);
+    for (std::size_t i = 1; i < before.lines.size(); ++i) {
+      baseline << before.lines[i] << "\n";
+    }
+  }
+  const RunResult partial =
+      run_lint("--baseline=" + baseline_path + " " + fixture("tree"));
+  EXPECT_EQ(partial.exit_code, 1);
+  ASSERT_EQ(partial.lines.size(), 1u) << partial.out;
+  EXPECT_EQ(partial.lines[0], before.lines[0]);
+
+  const RunResult missing =
+      run_lint("--baseline=/no/such/file " + fixture("tree"));
+  EXPECT_EQ(missing.exit_code, 2);
+  std::remove(baseline_path.c_str());
+}
+
+TEST(Lint, UsageErrorsExitTwo) {
+  EXPECT_EQ(run_lint("").exit_code, 2);                    // no paths
+  EXPECT_EQ(run_lint("--frobnicate src").exit_code, 2);    // unknown flag
+  EXPECT_EQ(run_lint("/no/such/path").exit_code, 2);       // bad path
+}
+
+TEST(Lint, RealTreeIsLintClean) {
+  const std::string root(AEDB_LINT_REPO_ROOT);
+  const RunResult result =
+      run_lint(root + "/src " + root + "/bench " + root + "/tests");
+  EXPECT_EQ(result.exit_code, 0)
+      << "the committed tree must lint clean:\n"
+      << result.out;
+  EXPECT_TRUE(result.out.empty()) << result.out;
+}

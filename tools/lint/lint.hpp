@@ -1,0 +1,98 @@
+#pragma once
+
+// aedb-lint: a project-specific static analyzer for the determinism,
+// durability and layering contracts this codebase ships (see
+// docs/DETERMINISM.md for the rule-by-rule contract table).
+//
+// Deliberately a lightweight lexer, not libclang: the rules only need
+// comment/string-aware token scanning plus the #include graph, and a
+// dependency-free tool can run in every environment the build runs in.
+//
+// Diagnostics print as `file:line: [rule-id] message`.  A finding is
+// suppressed by a justified per-line comment
+//
+//     // lint: allow(<rule-id>): <why this is safe>
+//
+// on the offending line, or on a comment-only line directly above it
+// (multi-line justification blocks attach to the next code line).  A
+// suppression without a justification, for an unknown rule, or that no
+// longer matches a finding is itself reported under `lint-suppression`.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aedbmls::lint {
+
+/// Where a file sits in the repository.  Derived from the right-most
+/// well-known path component, so fixture trees under
+/// `tests/lint_fixtures/<case>/src/...` classify by their inner `src/`.
+enum class Role { kSrc, kTests, kBench, kExamples, kOther };
+
+/// One physical line, lexed: `code` has comments removed and string/char
+/// literal contents blanked (quotes kept), `strings` holds the literal
+/// contents, `comment` the comment text (for suppression parsing).
+struct Line {
+  std::string code;
+  std::vector<std::string> strings;
+  std::string comment;
+};
+
+struct Include {
+  std::size_t line = 0;   // 1-based
+  std::string target;
+  bool angled = false;
+};
+
+struct SourceFile {
+  std::string path;
+  Role role = Role::kOther;
+  std::string layer;       // for Role::kSrc: "common" .. "expt", else ""
+  bool is_header = false;
+  std::vector<Line> lines;
+  std::vector<Include> includes;
+  std::string joined_code;              // all `code` lines, '\n'-separated
+  std::vector<std::size_t> line_start;  // offset of each line in joined_code
+  /// 1-based line number of the joined_code offset.
+  [[nodiscard]] std::size_t line_of(std::size_t offset) const;
+  /// True when `path` ends with `suffix` on a path-component boundary.
+  [[nodiscard]] bool path_ends_with(std::string_view suffix) const;
+};
+
+struct Diagnostic {
+  std::string path;
+  std::size_t line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+};
+
+/// Formats a diagnostic exactly as printed (and as matched by --baseline).
+[[nodiscard]] std::string to_string(const Diagnostic& diagnostic);
+
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  [[nodiscard]] virtual std::string_view id() const = 0;
+  [[nodiscard]] virtual std::string_view summary() const = 0;
+  virtual void check(const SourceFile& file,
+                     std::vector<Diagnostic>& out) const = 0;
+};
+
+/// The registry: every shipped rule, in --list-rules order.
+[[nodiscard]] std::vector<std::unique_ptr<Rule>> make_rules();
+
+/// Lexes `bytes` (the contents of `path`) into a SourceFile.
+[[nodiscard]] SourceFile lex_file(std::string path, std::string_view bytes);
+
+/// Lints one lexed file with `rules`, applying `// lint: allow`
+/// suppressions (including the broken/stale-suppression diagnostics).
+void lint_file(const SourceFile& file,
+               const std::vector<std::unique_ptr<Rule>>& rules,
+               std::vector<Diagnostic>& out);
+
+/// The pseudo-rule id under which suppression problems are reported.
+inline constexpr std::string_view kSuppressionRule = "lint-suppression";
+
+}  // namespace aedbmls::lint

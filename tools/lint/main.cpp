@@ -1,0 +1,228 @@
+// aedb-lint CLI.  Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace fs = std::filesystem;
+using namespace aedbmls::lint;  // tool-local; not shipped in a header
+
+namespace {
+
+constexpr std::string_view kUsage =
+    R"(usage: aedb-lint [options] <path>...
+
+Lints C++ sources against the aedb-mls determinism, durability and
+layering contracts (docs/DETERMINISM.md).  Paths may be files or
+directories; directories are walked recursively, skipping build*/,
+.git/, golden/, results/ and lint_fixtures/ subtrees.
+
+options:
+  --list-rules       print every rule id with its summary, then exit 0
+  --only=a,b         print only findings for the named rules
+                     (all rules still run, so suppression accounting
+                     stays exact)
+  --baseline=FILE    mask findings whose printed form appears verbatim
+                     in FILE ('#' comments and blank lines ignored)
+  --help             this text
+
+Suppress a single finding with a justified comment on (or directly
+above) the offending line:
+    // lint: allow(<rule-id>): <why this is safe>
+)";
+
+bool has_source_extension(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".hpp" ||
+         ext == ".h" || ext == ".hh" || ext == ".ipp";
+}
+
+bool skip_directory(const fs::path& path) {
+  const std::string name = path.filename().string();
+  return name == ".git" || name == "golden" || name == "results" ||
+         name == "lint_fixtures" || name.rfind("build", 0) == 0;
+}
+
+/// Collects lintable files under `root` (or `root` itself).  The skip
+/// list applies to subdirectories only, so an explicitly-passed fixture
+/// directory is still walked.
+bool collect(const fs::path& root, std::vector<std::string>& files) {
+  std::error_code ec;
+  if (fs::is_regular_file(root, ec)) {
+    files.push_back(root.generic_string());
+    return true;
+  }
+  if (!fs::is_directory(root, ec)) {
+    std::fprintf(stderr, "aedb-lint: no such file or directory: %s\n",
+                 root.string().c_str());
+    return false;
+  }
+  fs::recursive_directory_iterator it(root, ec);
+  if (ec) {
+    std::fprintf(stderr, "aedb-lint: cannot walk %s: %s\n",
+                 root.string().c_str(), ec.message().c_str());
+    return false;
+  }
+  for (const fs::recursive_directory_iterator end; it != end;
+       it.increment(ec)) {
+    if (ec) {
+      std::fprintf(stderr, "aedb-lint: walk error under %s: %s\n",
+                   root.string().c_str(), ec.message().c_str());
+      return false;
+    }
+    if (it->is_directory() && skip_directory(it->path())) {
+      it.disable_recursion_pending();
+      continue;
+    }
+    if (it->is_regular_file() && has_source_extension(it->path())) {
+      files.push_back(it->path().generic_string());
+    }
+  }
+  return true;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool list_rules = false;
+  std::set<std::string> only;
+  std::string baseline_path;
+  std::vector<std::string> roots;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(std::string(kUsage).c_str(), stdout);
+      return 0;
+    }
+    if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg.rfind("--only=", 0) == 0) {
+      std::string_view rest = arg.substr(7);
+      while (!rest.empty()) {
+        const std::size_t comma = rest.find(',');
+        const std::string_view name = rest.substr(0, comma);
+        if (!name.empty()) only.insert(std::string(name));
+        if (comma == std::string_view::npos) break;
+        rest.remove_prefix(comma + 1);
+      }
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = std::string(arg.substr(11));
+    } else if (!arg.empty() && arg.front() == '-') {
+      std::fprintf(stderr, "aedb-lint: unknown option '%s'\n%s",
+                   std::string(arg).c_str(), std::string(kUsage).c_str());
+      return 2;
+    } else {
+      roots.emplace_back(arg);
+    }
+  }
+
+  const auto rules = make_rules();
+
+  if (list_rules) {
+    for (const auto& rule : rules) {
+      std::printf("%-20s %s\n", std::string(rule->id()).c_str(),
+                  std::string(rule->summary()).c_str());
+    }
+    std::printf("%-20s %s\n", std::string(kSuppressionRule).c_str(),
+                "(pseudo-rule) malformed, unknown-rule or stale "
+                "`// lint: allow` suppressions");
+    return 0;
+  }
+
+  for (const std::string& name : only) {
+    bool known = name == kSuppressionRule;
+    for (const auto& rule : rules) known = known || name == rule->id();
+    if (!known) {
+      std::fprintf(stderr, "aedb-lint: --only names unknown rule '%s'\n",
+                   name.c_str());
+      return 2;
+    }
+  }
+
+  if (roots.empty()) {
+    std::fprintf(stderr, "aedb-lint: no paths given\n%s",
+                 std::string(kUsage).c_str());
+    return 2;
+  }
+
+  std::set<std::string> baseline;
+  if (!baseline_path.empty()) {
+    std::string bytes;
+    if (!read_file(baseline_path, bytes)) {
+      std::fprintf(stderr, "aedb-lint: cannot read baseline %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    std::istringstream in(bytes);
+    std::string line;
+    while (std::getline(in, line)) {
+      while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+        line.pop_back();
+      }
+      if (line.empty() || line.front() == '#') continue;
+      baseline.insert(line);
+    }
+  }
+
+  std::vector<std::string> files;
+  for (const std::string& root : roots) {
+    if (!collect(root, files)) return 2;
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<Diagnostic> diagnostics;
+  for (const std::string& path : files) {
+    std::string bytes;
+    if (!read_file(path, bytes)) {
+      std::fprintf(stderr, "aedb-lint: cannot read %s\n", path.c_str());
+      return 2;
+    }
+    const SourceFile file = lex_file(path, bytes);
+    lint_file(file, rules, diagnostics);
+  }
+
+  if (!only.empty()) {
+    std::erase_if(diagnostics, [&](const Diagnostic& d) {
+      return only.count(d.rule) == 0;
+    });
+  }
+  if (!baseline.empty()) {
+    std::erase_if(diagnostics, [&](const Diagnostic& d) {
+      return baseline.count(to_string(d)) > 0;
+    });
+  }
+
+  std::sort(diagnostics.begin(), diagnostics.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.path, a.line, a.rule, a.message) <
+                     std::tie(b.path, b.line, b.rule, b.message);
+            });
+  for (const Diagnostic& diagnostic : diagnostics) {
+    std::printf("%s\n", to_string(diagnostic).c_str());
+  }
+  if (!diagnostics.empty()) {
+    std::fprintf(stderr, "aedb-lint: %zu finding%s\n", diagnostics.size(),
+                 diagnostics.size() == 1 ? "" : "s");
+    return 1;
+  }
+  return 0;
+}
